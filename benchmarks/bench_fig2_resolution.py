@@ -1,0 +1,28 @@
+"""Figure 2: mass-resolution vs total-mass planes with the billion barrier.
+
+Regenerates both panels' scatter points, the iso-N diagonals, and checks the
+geometric claim of the figure: all prior art sits above the one-billion
+line, This Work below it in both panels.
+"""
+
+from benchmarks.conftest import fmt_table
+from repro.data.sota import ONE_BILLION, figure2_series
+
+
+def test_fig2(benchmark, write_result):
+    fig = benchmark.pedantic(figure2_series, rounds=1, iterations=1)
+    out = []
+    for panel in ("dm", "gas"):
+        rows = []
+        for name, m_tot, m_part in fig[panel]["points"]:
+            rows.append([name, m_tot, m_part, m_tot / m_part])
+        name, m_tot, m_part = fig[panel]["this_work"]
+        rows.append([name + "  <== this work", m_tot, m_part, m_tot / m_part])
+        out.append(f"panel: {panel}\n" + fmt_table(
+            ["Run", "M_total [Msun]", "m_particle [Msun]", "N implied"], rows
+        ))
+        # Every prior point is above the barrier line (N < 1e9); this work below.
+        for _, m, mp in fig[panel]["points"]:
+            assert m / mp < ONE_BILLION
+        assert m_tot / m_part > ONE_BILLION
+    write_result("fig2_resolution", "\n".join(out))

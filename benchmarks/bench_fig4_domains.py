@@ -1,0 +1,45 @@
+"""Figure 4: the multisection domain decomposition sliced at y = 0.
+
+Regenerates the decomposition of a concentrated MW model and reports the
+rectangles crossing the y=0 plane — the paper's figure shows central
+domains squeezed into long, thin slivers, which is what drives the
+particle-exchange surface costs of Sec. 5.2.1.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import fmt_table
+from repro.fdps.domain import DomainDecomposition
+from repro.ic.galaxy import make_mw_model
+
+
+def _run():
+    ps = make_mw_model(n_total=20000, seed=4)
+    dd = DomainDecomposition.fit(ps.pos, (4, 4, 2), sample=None)
+    lo, hi = ps.pos.min(axis=0), ps.pos.max(axis=0)
+    rects = dd.slice_y0(lo, hi)
+    counts = np.bincount(dd.assign(ps.pos), minlength=dd.n_domains)
+    return rects, counts
+
+
+def test_fig4_domains(benchmark, write_result):
+    rects, counts = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    aspects = []
+    for r in rects:
+        w, h = r[1] - r[0], r[3] - r[2]
+        aspect = max(w, h) / max(min(w, h), 1e-12)
+        aspects.append(aspect)
+        rows.append([r[0], r[1], r[2], r[3], w, h, aspect])
+    table = fmt_table(["x0", "x1", "z0", "z1", "dx", "dz", "aspect"], rows)
+    table += (
+        f"\ndomains crossing y=0: {len(rects)}"
+        f"\nload balance: min={counts.min()} max={counts.max()}"
+        f" (imbalance {counts.max() / max(counts.min(), 1):.2f}x)"
+        f"\nmax aspect ratio: {max(aspects):.1f}"
+    )
+    write_result("fig4_domains", table)
+    # The paper's phenomenon: some domains are very thin (high aspect).
+    assert max(aspects) > 5.0
+    # And the decomposition still balances particle counts.
+    assert counts.max() <= 1.5 * max(counts.min(), 1)

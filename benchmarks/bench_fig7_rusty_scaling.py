@@ -1,0 +1,79 @@
+"""Figure 7: weak- and strong-scaling on the Rusty genoa cluster.
+
+Weak: 25M particles per MPI process (48 processes/node), 11 to 193 nodes —
+reaching 2.3e11 particles at the top, "approximately the same as the number
+of particles in the full system run on Fugaku" (Sec. 5.2.4).  Strong: the
+strongMW_rusty and strongMWs_rusty series of Table 2.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import fmt_table
+from repro.data.runs import run_by_name
+from repro.perf.machines import RUSTY
+from repro.perf.scaling import strong_scaling_curve, weak_scaling_curve
+
+WEAK_NODES = [11, 22, 43, 96, 193]
+PER_NODE = 25.0e6 * 48  # 25M per MPI process x 48 processes per node
+PARTS = [
+    "interaction_gravity", "interaction_density", "interaction_hydro_force",
+    "kernel_size", "tree_gravity", "tree_hydro",
+    "let_gravity", "let_hydro", "particle_exchange", "other",
+]
+
+
+def _table(points):
+    rows = [
+        [p.n_nodes, p.n_particles, p.total_seconds]
+        + [p.breakdown[k] for k in PARTS]
+        for p in points
+    ]
+    return fmt_table(["nodes", "N", "total[s]"] + PARTS, rows)
+
+
+def test_fig7_weak_scaling(benchmark, write_result):
+    points = benchmark.pedantic(
+        lambda: weak_scaling_curve(RUSTY, WEAK_NODES, particles_per_node=PER_NODE),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("fig7_weak_rusty", _table(points))
+    # Top of the weak series reaches the paper's 2.3e11 particles.
+    assert points[-1].n_particles == 193 * PER_NODE
+    assert abs(points[-1].n_particles / 2.3e11 - 1.0) < 0.01
+    totals = [p.total_seconds for p in points]
+    assert all(b > a for a, b in zip(totals, totals[1:]))
+    # Few nodes + fat memory: compute dominates communication everywhere
+    # (an order of magnitude fewer CPUs than Fugaku, Sec. 5.1).
+    top = points[-1].breakdown
+    comm = top["let_gravity"] + top["let_hydro"] + top["particle_exchange"]
+    compute = top["interaction_gravity"] + top["interaction_density"] + top["kernel_size"]
+    assert compute > comm
+
+
+def test_fig7_strong_scaling(benchmark, write_result):
+    def _strong():
+        series = {}
+        for name, nodes in (
+            ("strongMW_rusty", [43, 96, 193]),
+            ("strongMWs_rusty", [11, 22, 43]),
+        ):
+            run = run_by_name(name)
+            series[name] = strong_scaling_curve(
+                RUSTY, nodes, n_particles=run.n_total, gas_fraction=run.gas_fraction
+            )
+        return series
+
+    series = benchmark.pedantic(_strong, rounds=1, iterations=1)
+    out = []
+    for name, points in series.items():
+        out.append(f"series: {name}")
+        out.append(_table(points))
+        totals = [p.total_seconds for p in points]
+        assert totals[-1] < totals[0]
+        # "The performance on Rusty also shows excellent scalability":
+        # better than 60% parallel efficiency over the node range.
+        speedup = totals[0] / totals[-1]
+        ideal = points[-1].n_nodes / points[0].n_nodes
+        assert speedup > 0.6 * ideal
+    write_result("fig7_strong_rusty", "\n".join(out))

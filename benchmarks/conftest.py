@@ -1,0 +1,50 @@
+"""Benchmark support: every benchmark regenerates one paper table/figure.
+
+Each bench writes its regenerated rows/series to ``benchmarks/results/`` so
+the artifacts survive pytest's stdout capture, and registers a single
+``benchmark.pedantic`` round (these are experiment reproductions, not
+micro-benchmarks — one measured round each keeps the suite fast while still
+producing timing data).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def write_result(results_dir):
+    """Callable: write_result(name, text) -> path; also echoes to stdout."""
+
+    def _write(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text)
+        print(f"\n=== {name} ===\n{text}")
+        return path
+
+    return _write
+
+
+def fmt_table(headers: list[str], rows: list[list]) -> str:
+    """Plain-text table formatting shared by all benches."""
+    cols = [len(h) for h in headers]
+    str_rows = []
+    for row in rows:
+        srow = [f"{v:.4g}" if isinstance(v, float) else str(v) for v in row]
+        str_rows.append(srow)
+        cols = [max(c, len(s)) for c, s in zip(cols, srow)]
+    lines = ["  ".join(h.ljust(c) for h, c in zip(headers, cols))]
+    lines.append("  ".join("-" * c for c in cols))
+    for srow in str_rows:
+        lines.append("  ".join(s.ljust(c) for s, c in zip(srow, cols)))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,62 @@
+"""Figure 4 demo: multisection domain decomposition of a concentrated galaxy.
+
+Decomposes a Milky-Way model over a 4x4x2 process grid and renders the
+domains crossing the y = 0 plane as ASCII art — the central domains come
+out long and thin, exactly the morphology of the paper's Fig. 4 that
+drives the particle-exchange costs at scale.
+
+Run:  python examples/domain_decomposition.py
+"""
+
+import numpy as np
+
+from repro.fdps.domain import DomainDecomposition
+from repro.ic.galaxy import make_mw_model
+
+
+def render(rects, x_range, z_range, width=78, height=24) -> str:
+    """Rectangle outlines on a character canvas."""
+    canvas = [[" "] * width for _ in range(height)]
+
+    def to_px(x, z):
+        i = int((x - x_range[0]) / (x_range[1] - x_range[0]) * (width - 1))
+        j = int((z - z_range[0]) / (z_range[1] - z_range[0]) * (height - 1))
+        return min(max(i, 0), width - 1), min(max(j, 0), height - 1)
+
+    for r in rects:
+        x0, x1, z0, z1 = r
+        i0, j0 = to_px(x0, z0)
+        i1, j1 = to_px(x1, z1)
+        for i in range(i0, i1 + 1):
+            canvas[j0][i] = "-"
+            canvas[j1][i] = "-"
+        for j in range(j0, j1 + 1):
+            canvas[j][i0] = "|"
+            canvas[j][i1] = "|"
+    return "\n".join("".join(row) for row in canvas)
+
+
+def main() -> None:
+    ps = make_mw_model(n_total=20000, seed=4)
+    dd = DomainDecomposition.fit(ps.pos, (4, 4, 2), sample=None)
+    counts = np.bincount(dd.assign(ps.pos), minlength=dd.n_domains)
+    print(f"{dd.n_domains} domains; particles per domain: "
+          f"min {counts.min()}, max {counts.max()}")
+
+    lo, hi = ps.pos.min(axis=0), ps.pos.max(axis=0)
+    rects = dd.slice_y0(lo, hi)
+    # Zoom to the inner 40 kpc where the interesting structure lives.
+    zoom = 2.0e4
+    inner = [r for r in rects if abs(r[0]) < zoom or abs(r[1]) < zoom]
+    clipped = [np.clip(r, -zoom, zoom) for r in inner]
+    print(f"\n{len(rects)} domains cross the y=0 plane; inner 40 kpc view:\n")
+    print(render(clipped, (-zoom, zoom), (-zoom, zoom)))
+
+    aspects = [(r[1] - r[0]) / max(r[3] - r[2], 1e-9) for r in rects]
+    worst = max(max(a, 1 / a) for a in aspects)
+    print(f"\nworst domain aspect ratio: {worst:.1f} "
+          f"(the thin central domains of Fig. 4)")
+
+
+if __name__ == "__main__":
+    main()

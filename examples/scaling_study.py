@@ -1,0 +1,49 @@
+"""Scaling study: regenerate the Fig. 6/7 curves from the performance model.
+
+Prints the weak-scaling series on Fugaku (2M particles/node, 128 to
+148,896 nodes) and Rusty, plus the Sec. 5.3 time-to-solution arithmetic.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.perf.machines import FUGAKU, RUSTY
+from repro.perf.scaling import (
+    time_to_solution_speedup,
+    weak_scaling_curve,
+    weak_scaling_efficiency,
+)
+
+
+def print_curve(title, points):
+    print(f"\n{title}")
+    print(f"{'nodes':>8} {'N':>12} {'total[s]':>9} {'grav[s]':>8} "
+          f"{'LET[s]':>7} {'exch[s]':>8} {'PFLOPS':>7} {'eff%':>6}")
+    for p in points:
+        bd = p.breakdown
+        print(f"{p.n_nodes:>8} {p.n_particles:>12.3e} {p.total_seconds:>9.2f} "
+              f"{bd['interaction_gravity']:>8.2f} {bd['let_gravity']:>7.2f} "
+              f"{bd['particle_exchange']:>8.2f} {p.achieved_pflops:>7.2f} "
+              f"{100 * p.efficiency:>6.2f}")
+
+
+def main() -> None:
+    fugaku = weak_scaling_curve(FUGAKU, [128, 1024, 8192, 65536, 148896])
+    print_curve("Fugaku weak scaling (weakMW2M, 2M particles/node):", fugaku)
+    print(f"logN-compensated efficiency at full scale: "
+          f"{weak_scaling_efficiency(fugaku):.2f} (paper: 0.54)")
+
+    rusty = weak_scaling_curve(RUSTY, [11, 43, 96, 193],
+                               particles_per_node=25e6 * 48)
+    print_curve("\nRusty weak scaling (25M per MPI process x 48):", rusty)
+
+    tts = time_to_solution_speedup()
+    print("\nTime-to-solution (Sec. 5.3):")
+    print(f"  this scheme : {tts['ours_hours_per_myr']:.2f} h per Myr "
+          f"({tts['steps_per_myr']:.0f} steps of 2,000 yr at 20 s)")
+    print(f"  GIZMO-style : {tts['gizmo_hours_per_myr']:.0f} h per Myr "
+          f"(N^(4/3)-scaled adaptive timesteps)")
+    print(f"  speedup     : {tts['speedup']:.0f}x   (paper: 113x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Thin setup shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works through the legacy develop path in offline
+environments that lack the ``wheel`` package (PEP 660 editable installs
+require it).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""repro — ASURA-FDPS-ML reproduced in Python.
+
+A star-by-star N-body/SPH galaxy simulation framework coupled with a deep-
+learning surrogate model for supernova feedback, reproducing Hirashima et
+al., "The First Star-by-star N-body/Hydrodynamics Simulation of Our Galaxy
+Coupling with a Surrogate Model" (SC '25), together with the substrates the
+paper depends on: the FDPS particle-simulation framework, the PIKG kernel
+generator, AGAMA-style initial conditions, a from-scratch 3D U-Net, and a
+machine/network performance model for Fugaku, Rusty and Miyabi.
+
+Quick start::
+
+    from repro import GalaxySimulation, make_mw_mini
+    ps = make_mw_mini(n_total=3000, seed=1)
+    sim = GalaxySimulation(ps, dt=2e-3)   # fixed 2,000 yr global timestep
+    sim.run(5)
+    print(sim.diagnostics())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the mapping of
+every paper table/figure to a benchmark.
+"""
+
+__version__ = "1.0.0"
+
+from repro.fdps.particles import ParticleSet, ParticleType
+
+__all__ = [
+    "ParticleSet",
+    "ParticleType",
+    "GalaxySimulation",
+    "make_mw_model",
+    "make_mw_mini",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    # Lazy imports keep `import repro` light and avoid circular imports
+    # while still exposing the headline API at the top level.
+    if name == "GalaxySimulation":
+        from repro.core.simulation import GalaxySimulation
+
+        return GalaxySimulation
+    if name in ("make_mw_model", "make_mw_mini"):
+        from repro.ic import galaxy
+
+        return getattr(galaxy, name)
+    raise AttributeError(name)

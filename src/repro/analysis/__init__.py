@@ -1,0 +1,24 @@
+"""Analysis: the diagnostics the paper validates its scheme against.
+
+Column-density maps (Fig. 5), density–temperature PDFs, star-formation
+history and mass-loading factors (the Sec. 3.3 validation claims via
+ref. [14]), plus conservation audits used throughout the test suite.
+"""
+
+from repro.analysis.maps import column_density_map, surface_density_profile
+from repro.analysis.pdfs import density_pdf, temperature_pdf, phase_diagram, pdf_distance
+from repro.analysis.sfr import star_formation_history, mass_loading_factor, outflow_rate
+from repro.analysis.conservation import ConservationAudit
+
+__all__ = [
+    "column_density_map",
+    "surface_density_profile",
+    "density_pdf",
+    "temperature_pdf",
+    "phase_diagram",
+    "pdf_distance",
+    "star_formation_history",
+    "mass_loading_factor",
+    "outflow_rate",
+    "ConservationAudit",
+]

@@ -1,0 +1,93 @@
+"""Conservation audits: mass, momentum, energy bookkeeping across a run.
+
+The surrogate swap is *not* exactly conservative (the U-Net prediction
+replaces integration), so the audit distinguishes hard invariants (mass,
+particle IDs — conserved by construction) from physical drifts (energy
+injected by SNe is *supposed* to appear).  The paper validates the
+surrogate's energy/momentum against direct simulations [14]; these helpers
+produce the same ledgers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fdps.particles import ParticleSet
+from repro.gravity.kernels import total_potential_energy
+
+
+@dataclass
+class Snapshot:
+    time: float
+    mass: float
+    n_particles: int
+    momentum: np.ndarray
+    kinetic: float
+    thermal: float
+    potential: float | None
+
+    @property
+    def total_energy(self) -> float:
+        pot = self.potential if self.potential is not None else 0.0
+        return self.kinetic + self.thermal + pot
+
+
+@dataclass
+class ConservationAudit:
+    """Collects snapshots and reports drifts."""
+
+    include_potential: bool = False
+    history: list[Snapshot] = field(default_factory=list)
+
+    def record(self, ps: ParticleSet, time: float) -> Snapshot:
+        pot = (
+            total_potential_energy(ps.pos, ps.mass, ps.eps)
+            if self.include_potential
+            else None
+        )
+        snap = Snapshot(
+            time=time,
+            mass=ps.total_mass(),
+            n_particles=len(ps),
+            momentum=ps.momentum(),
+            kinetic=ps.kinetic_energy(),
+            thermal=ps.thermal_energy(),
+            potential=pot,
+        )
+        self.history.append(snap)
+        return snap
+
+    def mass_drift(self) -> float:
+        """Relative |dM|/M between first and last snapshots."""
+        if len(self.history) < 2:
+            return 0.0
+        m0, m1 = self.history[0].mass, self.history[-1].mass
+        return abs(m1 - m0) / max(abs(m0), 1e-300)
+
+    def momentum_drift(self) -> float:
+        """|dP| normalized by the total |m v| scale."""
+        if len(self.history) < 2:
+            return 0.0
+        p0, p1 = self.history[0].momentum, self.history[-1].momentum
+        scale = max(np.linalg.norm(p0), self.history[0].kinetic ** 0.5, 1e-300)
+        return float(np.linalg.norm(p1 - p0) / scale)
+
+    def energy_change(self) -> float:
+        """Absolute change of (kinetic + thermal [+ potential]) energy."""
+        if len(self.history) < 2:
+            return 0.0
+        return self.history[-1].total_energy - self.history[0].total_energy
+
+    def injected_energy_accounted(
+        self, n_sn: int, energy_per_sn: float, tolerance: float = 1.0
+    ) -> bool:
+        """Is the energy change within [0, (1+tol) x injected]?
+
+        After an SN the budget should grow by ~1e51 erg minus radiative and
+        boundary losses; growth far beyond the injection signals a bug.
+        """
+        de = self.energy_change()
+        budget = n_sn * energy_per_sn
+        return -tolerance * budget <= de <= (1.0 + tolerance) * budget

@@ -1,0 +1,67 @@
+"""Density/temperature PDFs — the Sec. 3.3 validation statistics.
+
+The paper (via ref. [14]) validates the surrogate by showing "the
+probability distribution functions of gas density and temperature are
+reproduced with the surrogate model for SNe".  These helpers compute
+mass-weighted log-space PDFs and a comparison metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fdps.particles import ParticleSet, ParticleType
+from repro.util.constants import internal_energy_to_temperature
+
+
+def _gas(ps: ParticleSet) -> np.ndarray:
+    return ps.where_type(ParticleType.GAS)
+
+
+def density_pdf(
+    ps: ParticleSet, bins: np.ndarray | int = 32, range_dex: tuple[float, float] = (-6, 4)
+) -> tuple[np.ndarray, np.ndarray]:
+    """Mass-weighted PDF of log10 gas density; returns (bin centers, pdf)."""
+    sel = _gas(ps)
+    logrho = np.log10(np.maximum(ps.dens[sel], 1e-300))
+    if isinstance(bins, int):
+        bins = np.linspace(range_dex[0], range_dex[1], bins + 1)
+    hist, edges = np.histogram(logrho, bins=bins, weights=ps.mass[sel], density=True)
+    return 0.5 * (edges[:-1] + edges[1:]), hist
+
+
+def temperature_pdf(
+    ps: ParticleSet, bins: np.ndarray | int = 32, range_dex: tuple[float, float] = (0, 9)
+) -> tuple[np.ndarray, np.ndarray]:
+    """Mass-weighted PDF of log10 gas temperature."""
+    sel = _gas(ps)
+    logt = np.log10(np.maximum(internal_energy_to_temperature(ps.u[sel]), 1.0))
+    if isinstance(bins, int):
+        bins = np.linspace(range_dex[0], range_dex[1], bins + 1)
+    hist, edges = np.histogram(logt, bins=bins, weights=ps.mass[sel], density=True)
+    return 0.5 * (edges[:-1] + edges[1:]), hist
+
+
+def phase_diagram(
+    ps: ParticleSet, n_bins: int = 32
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Mass-weighted (log rho, log T) 2D histogram: (rho_edges, t_edges, H)."""
+    sel = _gas(ps)
+    logrho = np.log10(np.maximum(ps.dens[sel], 1e-300))
+    logt = np.log10(np.maximum(internal_energy_to_temperature(ps.u[sel]), 1.0))
+    h, rho_edges, t_edges = np.histogram2d(
+        logrho, logt, bins=n_bins, weights=ps.mass[sel]
+    )
+    return rho_edges, t_edges, h
+
+
+def pdf_distance(
+    pdf_a: tuple[np.ndarray, np.ndarray], pdf_b: tuple[np.ndarray, np.ndarray]
+) -> float:
+    """L1 distance between two PDFs on the same bins (0 = identical, 2 = disjoint)."""
+    xa, ya = pdf_a
+    xb, yb = pdf_b
+    if len(xa) != len(xb) or not np.allclose(xa, xb):
+        raise ValueError("PDFs must share binning")
+    dx = np.diff(xa).mean() if len(xa) > 1 else 1.0
+    return float(np.sum(np.abs(ya - yb)) * dx)

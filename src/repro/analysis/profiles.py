@@ -1,0 +1,88 @@
+"""Kinematic profiles: rotation curves and disk-stability diagnostics.
+
+Used to verify that the AGAMA-lite initial conditions actually realize the
+target Milky Way structure (McMillan 2017 calibration, Sec. 4.2) and to
+monitor the disk during integration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fdps.particles import ParticleSet, ParticleType
+from repro.util.constants import GRAV_CONST
+
+
+def rotation_curve(
+    ps: ParticleSet,
+    n_bins: int = 24,
+    r_max: float = 2.0e4,
+    species: ParticleType | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Mean tangential velocity v_phi(R) measured from particle kinematics."""
+    sel = np.ones(len(ps), dtype=bool) if species is None else ps.where_type(species)
+    x, y = ps.pos[sel, 0], ps.pos[sel, 1]
+    vx, vy = ps.vel[sel, 0], ps.vel[sel, 1]
+    r = np.hypot(x, y)
+    vphi = (x * vy - y * vx) / np.maximum(r, 1e-12)
+    edges = np.linspace(0.0, r_max, n_bins + 1)
+    which = np.clip(np.digitize(r, edges) - 1, 0, n_bins - 1)
+    ok = r < r_max
+    num = np.bincount(which[ok], weights=vphi[ok], minlength=n_bins)
+    cnt = np.maximum(np.bincount(which[ok], minlength=n_bins), 1)
+    return 0.5 * (edges[:-1] + edges[1:]), num / cnt
+
+
+def circular_velocity_from_mass(
+    ps: ParticleSet, n_bins: int = 24, r_max: float = 2.0e4
+) -> tuple[np.ndarray, np.ndarray]:
+    """v_c(r) = sqrt(G M(<r)/r) from the sampled enclosed mass."""
+    r = np.linalg.norm(ps.pos, axis=1)
+    order = np.argsort(r)
+    cum = np.cumsum(ps.mass[order])
+    radii = np.linspace(r_max / n_bins, r_max, n_bins)
+    m_enc = cum[np.clip(np.searchsorted(r[order], radii) - 1, 0, len(cum) - 1)]
+    return radii, np.sqrt(GRAV_CONST * m_enc / radii)
+
+
+def velocity_dispersion_profile(
+    ps: ParticleSet,
+    n_bins: int = 16,
+    r_max: float = 2.0e4,
+    species: ParticleType = ParticleType.STAR,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Radial velocity dispersion sigma_R(R) of a disk species."""
+    sel = ps.where_type(species)
+    x, y = ps.pos[sel, 0], ps.pos[sel, 1]
+    vx, vy = ps.vel[sel, 0], ps.vel[sel, 1]
+    r = np.hypot(x, y)
+    vr = (x * vx + y * vy) / np.maximum(r, 1e-12)
+    edges = np.linspace(0.0, r_max, n_bins + 1)
+    which = np.clip(np.digitize(r, edges) - 1, 0, n_bins - 1)
+    ok = r < r_max
+    cnt = np.maximum(np.bincount(which[ok], minlength=n_bins), 1)
+    mean = np.bincount(which[ok], weights=vr[ok], minlength=n_bins) / cnt
+    var = (
+        np.bincount(which[ok], weights=vr[ok] ** 2, minlength=n_bins) / cnt
+        - mean**2
+    )
+    return 0.5 * (edges[:-1] + edges[1:]), np.sqrt(np.maximum(var, 0.0))
+
+
+def toomre_q_stars(
+    ps: ParticleSet, n_bins: int = 12, r_max: float = 1.2e4
+) -> tuple[np.ndarray, np.ndarray]:
+    """Toomre Q = sigma_R kappa / (3.36 G Sigma) for the stellar disk.
+
+    The epicyclic frequency kappa uses the flat-curve approximation
+    kappa = sqrt(2) v_c / R (adequate for stability *monitoring*; Q > 1
+    means locally stable).
+    """
+    from repro.analysis.maps import surface_density_profile
+
+    r_sig, sigma_r = velocity_dispersion_profile(ps, n_bins, r_max)
+    _, v_c = circular_velocity_from_mass(ps, n_bins, r_max)
+    _, surf = surface_density_profile(ps, n_bins, r_max, species=ParticleType.STAR)
+    kappa = np.sqrt(2.0) * v_c / np.maximum(r_sig, 1e-12)
+    q = sigma_r * kappa / (3.36 * GRAV_CONST * np.maximum(surf, 1e-300))
+    return r_sig, q

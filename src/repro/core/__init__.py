@@ -1,0 +1,27 @@
+"""The paper's primary contribution: surrogate-coupled galaxy integration.
+
+* :mod:`repro.core.events` — SN event records and region bookkeeping;
+* :mod:`repro.core.pool` — the pool-node manager: communicator split,
+  round-robin dispatch of (60 pc)^3 SN regions, the 50-step return latency,
+  and ID-based particle replacement (Fig. 3);
+* :mod:`repro.core.integrator` — ``SurrogateLeapfrog``, the eight-step
+  fixed-global-timestep loop of Sec. 3.2;
+* :mod:`repro.core.conventional` — ``ConventionalIntegrator``, the adaptive
+  CFL-timestep baseline with direct thermal feedback (what the paper calls
+  "conventional simulation" in Sec. 5.3);
+* :mod:`repro.core.simulation` — ``GalaxySimulation``, the public facade.
+"""
+
+from repro.core.events import SNEvent
+from repro.core.pool import PoolManager
+from repro.core.integrator import SurrogateLeapfrog
+from repro.core.conventional import ConventionalIntegrator
+from repro.core.simulation import GalaxySimulation
+
+__all__ = [
+    "SNEvent",
+    "PoolManager",
+    "SurrogateLeapfrog",
+    "ConventionalIntegrator",
+    "GalaxySimulation",
+]

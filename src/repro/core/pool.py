@@ -1,0 +1,155 @@
+"""Pool-node management: the main/pool communicator split of Sec. 3.1.
+
+The MPI world is split in two: *main* ranks integrate the galaxy, *pool*
+ranks run U-Net inference on SN regions.  This module reproduces the
+protocol on the simulated communicator:
+
+* :meth:`PoolManager.dispatch` — a detected SN's (60 pc)^3 region is sent
+  (point-to-point) to the next free pool node; the main loop continues
+  without waiting;
+* :meth:`PoolManager.collect` — ``latency_steps`` (default 50) global steps
+  later the predicted particles come back and are merged into the galaxy by
+  particle ID (:meth:`ParticleSet.replace_by_pid`).
+
+Prediction work is *executed* lazily at collect time — the in-process stand
+-in for "fully overlapped" pool-node computation: by construction it never
+adds wall-clock time to the main-node critical path, which is exactly the
+paper's performance claim (the DL time is excluded from Figs. 6–7 "because
+it runs independently on the pool nodes and fully overlaps").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.events import SNEvent
+from repro.fdps.comm import SimComm
+from repro.fdps.particles import ParticleSet
+from repro.surrogate.model import SNSurrogate
+
+
+@dataclass
+class _PendingJob:
+    event: SNEvent
+    region: ParticleSet
+
+
+@dataclass
+class PoolManager:
+    """Round-robin dispatcher over ``n_pool`` surrogate workers."""
+
+    surrogate: SNSurrogate
+    n_pool: int = 50
+    latency_steps: int = 50
+    seed: int = 0
+    comm: SimComm | None = None     # optional: counts pool traffic bytes
+    main_rank: int = 0
+
+    _jobs: list[_PendingJob] = field(default_factory=list)
+    _busy_until: dict[int, int] = field(default_factory=dict)
+    _rng: np.random.Generator = field(default=None)  # type: ignore[assignment]
+    _next: int = 0
+    events: list[SNEvent] = field(default_factory=list)
+    n_overflow: int = 0  # SNe that had to wait for a free pool node
+
+    def __post_init__(self) -> None:
+        if self.n_pool < 1:
+            raise ValueError("need at least one pool node")
+        self._rng = np.random.default_rng(self.seed)
+        if self.comm is not None and self.comm.n_ranks < 1 + self.n_pool:
+            raise ValueError("communicator too small for main + pool ranks")
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def n_in_flight(self) -> int:
+        return len(self._jobs)
+
+    def free_pool_rank(self, step: int) -> int | None:
+        """First pool rank idle at ``step`` (round-robin scan)."""
+        for k in range(self.n_pool):
+            cand = (self._next + k) % self.n_pool
+            if self._busy_until.get(cand, -1) <= step:
+                return cand
+        return None
+
+    # --------------------------------------------------------------- dispatch
+    def dispatch(
+        self,
+        region: ParticleSet,
+        center: np.ndarray,
+        star_pid: int,
+        time: float,
+        step: int,
+    ) -> SNEvent:
+        """Send one SN region to a pool node (step 2 of the Sec. 3.2 loop)."""
+        rank = self.free_pool_rank(step)
+        if rank is None:
+            # All pool nodes busy: steal the next one anyway but record the
+            # overflow — with the paper's sizing (n_pool = latency) this
+            # can only happen when >1 SN fires in one step per pool node.
+            rank = self._next % self.n_pool
+            self.n_overflow += 1
+        self._next = (rank + 1) % self.n_pool
+        self._busy_until[rank] = step + self.latency_steps
+
+        nbytes = sum(int(v.nbytes) for v in region.data.values())
+        event = SNEvent(
+            star_pid=int(star_pid),
+            center=np.asarray(center, dtype=np.float64).copy(),
+            time=float(time),
+            dispatch_step=int(step),
+            return_step=int(step) + self.latency_steps,
+            pool_rank=int(rank),
+            n_region_particles=len(region),
+            region_bytes=nbytes,
+        )
+        if self.comm is not None:
+            self.comm.send(
+                self.main_rank, 1 + rank, region.pos.copy(), tag=event.dispatch_step
+            )
+        self._jobs.append(_PendingJob(event=event, region=region))
+        self.events.append(event)
+        return event
+
+    # ----------------------------------------------------------------- collect
+    def collect(self, step: int) -> list[tuple[SNEvent, ParticleSet]]:
+        """Predictions due at ``step`` (step 4 of the loop).
+
+        Runs the surrogate for each due region and returns
+        (event, predicted particles) pairs; the caller merges them with
+        ``replace_by_pid``.
+        """
+        due = [j for j in self._jobs if j.event.return_step <= step]
+        self._jobs = [j for j in self._jobs if j.event.return_step > step]
+        out: list[tuple[SNEvent, ParticleSet]] = []
+        for job in due:
+            predicted = self.surrogate.predict_particles(
+                job.region, job.event.center, self._rng
+            )
+            job.event.returned = True
+            if self.comm is not None:
+                self.comm.send(
+                    1 + job.event.pool_rank,
+                    self.main_rank,
+                    predicted.pos.copy(),
+                    tag=job.event.return_step,
+                )
+                # drain the mailboxes so the simulated comm doesn't grow
+                self.comm.recv(1 + job.event.pool_rank)
+                self.comm.recv(self.main_rank)
+            out.append((job.event, predicted))
+        return out
+
+    # -------------------------------------------------------------- statistics
+    def summary(self) -> dict:
+        returned = sum(1 for e in self.events if e.returned)
+        return {
+            "n_events": len(self.events),
+            "n_returned": returned,
+            "n_in_flight": self.n_in_flight,
+            "n_overflow": self.n_overflow,
+            "total_region_particles": sum(e.n_region_particles for e in self.events),
+            "total_region_bytes": sum(e.region_bytes for e in self.events),
+        }

@@ -1,0 +1,6 @@
+"""Literature data and run registries (Tables 1 and 2, Figure 2)."""
+
+from repro.data.sota import SOTA_RUNS, SOTARun, THIS_WORK, figure2_series
+from repro.data.runs import RUN_TABLE, PaperRun
+
+__all__ = ["SOTA_RUNS", "SOTARun", "THIS_WORK", "figure2_series", "RUN_TABLE", "PaperRun"]

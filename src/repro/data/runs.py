@@ -1,0 +1,54 @@
+"""Table 2: the paper's run configurations.
+
+Each row records the node range and the per-species particle masses/counts;
+``n_total`` is the sum of species counts (what the scaling figures sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperRun:
+    """One row of Table 2."""
+
+    name: str
+    machine: str                  # "fugaku" | "rusty" | "miyabi"
+    nodes_max: int
+    nodes_min: int
+    m_dm: float
+    n_dm: float
+    m_star: float
+    n_star: float
+    m_gas: float
+    n_gas: float
+    m_tot: float
+    kind: str                     # "weak" | "strong" | "single"
+
+    @property
+    def n_total(self) -> float:
+        return self.n_dm + self.n_star + self.n_gas
+
+    @property
+    def gas_fraction(self) -> float:
+        return self.n_gas / self.n_total
+
+
+RUN_TABLE: tuple[PaperRun, ...] = (
+    PaperRun("weakMW2M", "fugaku", 148896, 128, 6.0, 1.8e11, 0.75, 7.2e10, 0.75, 4.9e10, 1.2e12, "weak"),
+    PaperRun("weakMW_rusty", "rusty", 193, 11, 7.7, 1.4e11, 0.96, 5.5e10, 0.96, 3.8e10, 1.2e12, "weak"),
+    PaperRun("strongMW", "fugaku", 148896, 67680, 11.7, 9.3e10, 1.4, 3.7e10, 1.4, 2.6e10, 1.2e12, "strong"),
+    PaperRun("strongMWs", "fugaku", 40608, 4096, 4.0, 2.8e10, 0.5, 1.2e10, 0.5, 7.5e9, 1.2e11, "strong"),
+    PaperRun("strongMWm", "fugaku", 1024, 128, 12.0, 1.4e9, 1.5, 3.7e8, 1.5, 3.4e9, 1.8e10, "strong"),
+    PaperRun("strongMW_rusty", "rusty", 193, 43, 36.0, 3.0e10, 4.5, 1.2e10, 4.5, 8.4e9, 1.2e12, "strong"),
+    PaperRun("strongMWs_rusty", "rusty", 43, 11, 166.0, 6.5e9, 21.0, 2.6e9, 21.0, 1.8e9, 1.2e12, "strong"),
+    PaperRun("MW_miyabi", "miyabi", 1024, 1024, 87.9, 1.2e10, 11.0, 5.0e9, 11.0, 3.4e9, 1.2e12, "single"),
+)
+
+
+def run_by_name(name: str) -> PaperRun:
+    for run in RUN_TABLE:
+        if run.name == name:
+            return run
+    raise KeyError(name)

@@ -1,0 +1,97 @@
+"""Table 1: state-of-the-art isolated-disk galaxy simulations, and the
+Figure 2 resolution/mass planes derived from them."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SOTARun:
+    """One row of Table 1."""
+
+    paper: str
+    n_gas: float
+    m_gas: float        # M_sun
+    n_star: float
+    m_star: float
+    n_dm: float
+    m_tot: float
+    n_tot: float
+    code: str
+
+    @property
+    def m_dm(self) -> float:
+        """DM particle mass implied by the totals (roughly: the DM carries
+        what baryons do not)."""
+        m_baryon = self.n_gas * self.m_gas + self.n_star * self.m_star
+        if self.n_dm <= 0:
+            return float("nan")
+        return max(self.m_tot - m_baryon, 0.0) / self.n_dm
+
+
+SOTA_RUNS: tuple[SOTARun, ...] = (
+    SOTARun("Hu et al. (2017)", 1e7, 4.0, 1e7, 4.0, 4e6, 2e10, 2.4e7, "GADGET-3"),
+    SOTARun("Smith et al. (2018)", 1.9e7, 20.0, 1e5, 20.0, 1e5, 1e10, 2.0e7, "AREPO"),
+    SOTARun("Smith et al. (2018) Large", 1.9e7, 200.0, 1e5, 200.0, 1e5, 1e11, 2.0e7, "AREPO"),
+    SOTARun("Smith et al. (2021)", 3.4e6, 20.0, 4.9e6, 20.0, 6.2e6, 1e10, 2.0e7, "AREPO"),
+    SOTARun("Richings et al. (2022)", 1e7, 400.0, 3e7, 400.0, 1.6e8, 1e12, 2.0e8, "GIZMO"),
+    SOTARun("Hu et al. (2023)", 7e7, 1.0, 1e7, 1.0, 1e7, 1e10, 2.4e7, "GIZMO"),
+    SOTARun("Steinwandel et al. (2024)", 1e8, 4.0, 5e8, 4.0, 4e7, 2e11, 6.4e8, "GADGET-3"),
+)
+
+#: "This work" — the bottom row of Table 1.
+THIS_WORK = SOTARun(
+    "This work (Hirashima et al. 2025)",
+    4.9e10,
+    0.75,
+    7.2e10,
+    0.75,
+    1.8e11,
+    1.2e12,
+    3.0e11,
+    "ASURA",
+)
+
+#: The billion-particle barrier line of Fig. 2.
+ONE_BILLION = 1.0e9
+
+
+def figure2_series() -> dict:
+    """Data behind the two Fig. 2 panels.
+
+    Returns a dict with, per panel ('dm' and 'gas'):
+    points [(name, total mass, particle mass)], this-work point, and the
+    iso-N diagonal lines for N = 1e6, 1e8, 1e10 plus the one-billion
+    barrier.
+    """
+    out: dict = {}
+    for panel in ("dm", "gas"):
+        pts = []
+        for run in SOTA_RUNS:
+            if panel == "gas":
+                total = run.n_gas * run.m_gas
+                pts.append((run.paper, total, run.m_gas))
+            else:
+                if not np.isfinite(run.m_dm):
+                    continue
+                pts.append((run.paper, run.n_dm * run.m_dm, run.m_dm))
+        if panel == "gas":
+            this = (THIS_WORK.paper, THIS_WORK.n_gas * THIS_WORK.m_gas, THIS_WORK.m_gas)
+        else:
+            this = (THIS_WORK.paper, THIS_WORK.n_dm * THIS_WORK.m_dm, THIS_WORK.m_dm)
+        m_grid = np.logspace(7 if panel == "dm" else 6, 13, 60)
+        lines = {
+            f"N=1e{int(np.log10(n))}": (m_grid, m_grid / n)
+            for n in (1e6, 1e8, 1e10)
+        }
+        lines["one_billion"] = (m_grid, m_grid / ONE_BILLION)
+        out[panel] = {"points": pts, "this_work": this, "lines": lines}
+    return out
+
+
+def breaks_billion_barrier(run: SOTARun) -> bool:
+    """Whether a run's total particle count exceeds one billion."""
+    return run.n_tot > ONE_BILLION

@@ -1,0 +1,51 @@
+"""A Python re-implementation of the FDPS particle-simulator framework.
+
+FDPS (Framework for Developing Particle Simulators, Iwasawa et al.) factors a
+massively parallel particle code into five reusable services, all of which
+this package provides:
+
+* **particle containers** — :mod:`repro.fdps.particles` (structure-of-arrays
+  storage, the layout PIKG-generated kernels expect);
+* **domain decomposition** — :mod:`repro.fdps.domain` (multisection with
+  weighted sampling, the scheme whose thin central domains appear in Fig. 4);
+* **particle exchange & communication** — :mod:`repro.fdps.comm` (a simulated
+  MPI with alltoallv, communicator split, and the 3D-torus three-phase
+  alltoallv of Sec. 3.4 whose time complexity is O(p^{1/3}));
+* **tree construction** — :mod:`repro.fdps.tree` (Morton-ordered Barnes–Hut
+  octree with monopole moments);
+* **local essential tree (LET) exchange and interaction calculation** —
+  :mod:`repro.fdps.let` and :mod:`repro.fdps.interaction` (group-wise tree
+  walks with the interaction-group size ``n_g`` trade-off of Sec. 5.2.4).
+"""
+
+from repro.fdps.particles import ParticleSet, ParticleType
+from repro.fdps.morton import morton_encode, morton_decode, morton_keys
+from repro.fdps.tree import Octree
+from repro.fdps.domain import DomainDecomposition, multisection_bounds
+from repro.fdps.comm import SimComm, CommStats, TorusTopology
+from repro.fdps.let import build_let_exports, exchange_let
+from repro.fdps.interaction import InteractionCounter, make_groups, walk_tree_for_group
+from repro.fdps.distributed import DistributedGravity
+from repro.fdps.io import save_snapshot, load_snapshot
+
+__all__ = [
+    "ParticleSet",
+    "ParticleType",
+    "morton_encode",
+    "morton_decode",
+    "morton_keys",
+    "Octree",
+    "DomainDecomposition",
+    "multisection_bounds",
+    "SimComm",
+    "CommStats",
+    "TorusTopology",
+    "build_let_exports",
+    "exchange_let",
+    "InteractionCounter",
+    "make_groups",
+    "walk_tree_for_group",
+    "DistributedGravity",
+    "save_snapshot",
+    "load_snapshot",
+]

@@ -1,0 +1,108 @@
+"""Local essential tree (LET) construction and exchange.
+
+Gravity is long-range, so every rank needs *some* information about every
+other rank's particles.  The LET is the minimal such summary: walking the
+local tree against a remote domain's bounding box with the multipole
+acceptance criterion yields, per remote rank, a mixture of
+
+* **pseudo-particles** — monopole (mass, centre of mass) of accepted nodes,
+* **real particles** — members of leaves that the MAC forced open
+  (these are near the remote domain's boundary).
+
+Exchanging these lists is an all-to-all over all main ranks — the most
+time-consuming part at full Fugaku scale (Sec. 5.2.3) — so the exchange can
+be routed through either the flat or the three-phase torus alltoallv.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fdps.comm import SimComm
+from repro.fdps.domain import DomainDecomposition
+from repro.fdps.tree import Octree
+
+
+@dataclass
+class LetExport:
+    """What one rank sends another: positions and masses (pseudo + real)."""
+
+    pos: np.ndarray   # (K, 3)
+    mass: np.ndarray  # (K,)
+    n_pseudo: int     # first n_pseudo entries are node monopoles
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.pos.nbytes + self.mass.nbytes)
+
+    def pack(self) -> np.ndarray:
+        """Serialize to one float64 buffer (for byte-accurate comm counting)."""
+        out = np.empty((len(self.mass), 4), dtype=np.float64)
+        out[:, :3] = self.pos
+        out[:, 3] = self.mass
+        return out
+
+    @staticmethod
+    def unpack(buf: np.ndarray) -> "LetExport":
+        buf = buf.reshape(-1, 4)
+        return LetExport(pos=buf[:, :3].copy(), mass=buf[:, 3].copy(), n_pseudo=0)
+
+
+def build_let_exports(
+    tree: Octree, target_lo: np.ndarray, target_hi: np.ndarray, theta: float
+) -> LetExport:
+    """LET export list from a local tree toward the box [target_lo, target_hi]."""
+    nodes, parts = tree.walk_box(target_lo, target_hi, theta)
+    inv = np.empty_like(tree.order)
+    inv[tree.order] = np.arange(len(tree.order))
+    pos = np.concatenate([tree.node_com[nodes], tree.sorted_pos[inv[parts]]])
+    mass = np.concatenate([tree.node_mass[nodes], tree.sorted_mass[inv[parts]]])
+    return LetExport(pos=pos, mass=mass, n_pseudo=len(nodes))
+
+
+def exchange_let(
+    comm: SimComm,
+    trees: list[Octree],
+    decomp: DomainDecomposition,
+    global_lo: np.ndarray,
+    global_hi: np.ndarray,
+    theta: float,
+    use_3d: bool = False,
+) -> list[LetExport]:
+    """All-pairs LET exchange.
+
+    Parameters
+    ----------
+    comm : the main-node communicator (one rank per domain).
+    trees : per-rank local trees.
+    decomp : the current domain decomposition.
+    theta : opening angle.
+    use_3d : route through the three-phase torus alltoallv.
+
+    Returns
+    -------
+    Per-rank :class:`LetExport` holding the *imported* (remote) matter.
+    """
+    p = comm.n_ranks
+    send: list[list[np.ndarray | None]] = [[None] * p for _ in range(p)]
+    for src in range(p):
+        for dst in range(p):
+            if src == dst:
+                continue
+            lo, hi = decomp.finite_domain_box(dst, global_lo, global_hi)
+            send[src][dst] = build_let_exports(trees[src], lo, hi, theta).pack()
+    exchange = comm.alltoallv_3d if use_3d else comm.alltoallv
+    recv = exchange(send, label="exchange_let")
+    imported: list[LetExport] = []
+    for dst in range(p):
+        bufs = [recv[dst][src] for src in range(p) if recv[dst][src] is not None]
+        if bufs:
+            packed = np.concatenate([b.reshape(-1, 4) for b in bufs])
+            imported.append(LetExport.unpack(packed))
+        else:
+            imported.append(
+                LetExport(pos=np.empty((0, 3)), mass=np.empty(0), n_pseudo=0)
+            )
+    return imported

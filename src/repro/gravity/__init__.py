@@ -1,0 +1,26 @@
+"""Gravitational force evaluation: direct summation and Barnes–Hut tree.
+
+The pairwise kernel is the 27-operation softened monopole of Eq. (1); the
+tree walk uses the FDPS group strategy with interaction-group size ``n_g``.
+The mixed-precision path reproduces Sec. 4.3: positions are converted to
+coordinates *relative to the target group* and truncated to float32 before
+the force loop, retaining double-precision global resolution while the hot
+loop runs in single precision.
+"""
+
+from repro.gravity.kernels import (
+    accel_direct,
+    accel_between,
+    accel_between_mixed,
+    potential_direct,
+)
+from repro.gravity.treegrav import tree_accel, TreeGravityResult
+
+__all__ = [
+    "accel_direct",
+    "accel_between",
+    "accel_between_mixed",
+    "potential_direct",
+    "tree_accel",
+    "TreeGravityResult",
+]

@@ -1,0 +1,39 @@
+"""Initial conditions: an AGAMA-lite galaxy model builder (Sec. 4.2).
+
+The paper builds Model MW with AGAMA (modified for per-domain parallel
+generation): a broken power-law DM halo (inner slope -1), an exponential
+stellar disk, an equilibrium gas disk from the potential method, with total
+masses 1.1e12 / 5.4e10 / 1.2e10 M_sun.  This package reproduces the same
+three-component structure with inverse-CDF and Jeans-based sampling:
+
+* :mod:`repro.ic.profiles` — density/enclosed-mass/circular-velocity curves;
+* :mod:`repro.ic.halo` — NFW-like halo sampling with isotropic Jeans
+  velocities;
+* :mod:`repro.ic.disk` — exponential/sech^2 stellar disk with asymmetric
+  drift;
+* :mod:`repro.ic.gasdisk` — hydrostatic gas disk (potential-method stand-in)
+  with pressure-corrected rotation;
+* :mod:`repro.ic.galaxy` — Model MW / MW-small / MW-mini factories and the
+  per-domain parallel generation used at scale.
+"""
+
+from repro.ic.profiles import NFWHalo, ExponentialDisk
+from repro.ic.galaxy import (
+    MWModelSpec,
+    MW_SPEC,
+    make_mw_model,
+    make_mw_small,
+    make_mw_mini,
+    generate_for_domain,
+)
+
+__all__ = [
+    "NFWHalo",
+    "ExponentialDisk",
+    "MWModelSpec",
+    "MW_SPEC",
+    "make_mw_model",
+    "make_mw_small",
+    "make_mw_mini",
+    "generate_for_domain",
+]

@@ -1,0 +1,43 @@
+"""Stellar disk sampling: rotation plus radially declining dispersions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ic.profiles import CompositeRotation, ExponentialDisk
+
+
+def sample_stellar_disk(
+    disk: ExponentialDisk,
+    rotation: CompositeRotation,
+    n: int,
+    rng: np.random.Generator,
+    sigma_frac: float = 0.15,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(positions, velocities) of ``n`` disk stars.
+
+    Tangential motion is the circular velocity minus a simple asymmetric
+    drift (v_phi^2 = v_c^2 - sigma_R^2); dispersions decline as
+    exp(-R / 2 Rd) from ``sigma_frac`` of the peak circular speed, the
+    standard warm-disk setup.
+    """
+    pos = disk.sample(n, rng)
+    r_cyl = np.sqrt(pos[:, 0] ** 2 + pos[:, 1] ** 2)
+    v_c = rotation.circular_velocity(np.maximum(r_cyl, 1.0))
+
+    sigma0 = sigma_frac * float(rotation.circular_velocity(np.array([2.0 * disk.r_d]))[0])
+    sigma_r = sigma0 * np.exp(-r_cyl / (2.0 * disk.r_d))
+    sigma_phi = 0.7 * sigma_r
+    sigma_z = 0.5 * sigma_r
+
+    v_phi_mean = np.sqrt(np.maximum(v_c**2 - 2.0 * sigma_r**2, 0.0))
+    v_r = rng.normal(0.0, 1.0, n) * sigma_r
+    v_phi = v_phi_mean + rng.normal(0.0, 1.0, n) * sigma_phi
+    v_z = rng.normal(0.0, 1.0, n) * sigma_z
+
+    cosp = pos[:, 0] / np.maximum(r_cyl, 1e-12)
+    sinp = pos[:, 1] / np.maximum(r_cyl, 1e-12)
+    vel = np.column_stack(
+        [v_r * cosp - v_phi * sinp, v_r * sinp + v_phi * cosp, v_z]
+    )
+    return pos, vel

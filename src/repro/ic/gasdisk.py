@@ -1,0 +1,65 @@
+"""Equilibrium gas disk — the potential-method stand-in (Wang et al. 2010).
+
+The paper generates its gas disk with the potential method: iterate the
+vertical structure to hydrostatic equilibrium in the combined potential.
+Our stand-in solves the same two balances analytically:
+
+* **vertical**: an isothermal sech^2 slab whose scale height satisfies the
+  self-gravitating relation h_z = c_s^2 / (pi G Sigma), floored at a
+  minimum (external potential compresses the inner disk);
+* **radial**: rotation with the pressure-gradient correction
+  v_phi^2 = v_c^2 + c_s^2 d ln rho / d ln R (the Sigma ~ exp(-R/Rd) term
+  gives d ln rho / d ln R = -R/Rd).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ic.profiles import CompositeRotation, ExponentialDisk
+from repro.util.constants import GRAV_CONST, temperature_to_internal_energy
+
+
+def gas_scale_height(
+    disk: ExponentialDisk, c_s: float, r_cyl: np.ndarray, floor: float = 20.0
+) -> np.ndarray:
+    """Self-gravitating isothermal slab height h = c_s^2 / (pi G Sigma)."""
+    sigma = disk.surface_density(r_cyl)
+    h = c_s**2 / (np.pi * GRAV_CONST * np.maximum(sigma, 1e-300))
+    return np.clip(h, floor, 20.0 * disk.z_d)
+
+
+def sample_gas_disk(
+    disk: ExponentialDisk,
+    rotation: CompositeRotation,
+    n: int,
+    rng: np.random.Generator,
+    temperature: float = 1.0e4,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """(positions, velocities, u) of ``n`` gas particles.
+
+    Returns the specific internal energy of the (isothermal) disk as well.
+    """
+    u = float(temperature_to_internal_energy(temperature))
+    c_s = np.sqrt(2.0 / 3.0 * u)  # isothermal sound speed, gamma = 5/3
+
+    # Radial sampling as for the stellar disk.
+    grid = np.linspace(0.0, float(disk.r_max), 2048)
+    cdf = disk.enclosed_mass_cyl(grid)
+    cdf /= cdf[-1]
+    r_cyl = np.interp(rng.uniform(0.0, 1.0, n), cdf, grid)
+    phi = rng.uniform(0.0, 2.0 * np.pi, n)
+
+    # Vertical: sech^2 at the *equilibrium* height, not the nominal z_d.
+    h_z = gas_scale_height(disk, c_s, r_cyl)
+    z = h_z * np.arctanh(rng.uniform(-1.0, 1.0, n) * (1 - 1e-12))
+
+    v_c = rotation.circular_velocity(np.maximum(r_cyl, 1.0))
+    # Pressure-corrected rotation; clamp at zero for the innermost gas.
+    v_phi2 = v_c**2 - c_s**2 * (r_cyl / disk.r_d)
+    v_phi = np.sqrt(np.maximum(v_phi2, 0.0))
+
+    cosp, sinp = np.cos(phi), np.sin(phi)
+    pos = np.column_stack([r_cyl * cosp, r_cyl * sinp, z])
+    vel = np.column_stack([-v_phi * sinp, v_phi * cosp, np.zeros(n)])
+    return pos, vel, u

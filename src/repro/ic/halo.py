@@ -1,0 +1,59 @@
+"""Dark-matter halo sampling with isotropic Jeans velocities.
+
+Positions come from the NFW inverse CDF; velocity dispersions solve the
+isotropic spherical Jeans equation
+
+.. math::  \\sigma^2(r) = \\frac{1}{\\rho(r)} \\int_r^{\\infty}
+           \\rho(s) \\frac{v_c^2(s)}{s} \\, ds
+
+on a log grid (AGAMA draws from a distribution function; a Maxwellian at
+the local Jeans dispersion is the standard N-body-IC shortcut and keeps the
+halo in approximate equilibrium over the few-Myr windows our runs cover).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ic.profiles import CompositeRotation, NFWHalo
+
+
+def jeans_sigma(
+    halo: NFWHalo,
+    rotation: CompositeRotation,
+    r: np.ndarray,
+    n_grid: int = 256,
+) -> np.ndarray:
+    """Isotropic 1D velocity dispersion at radii ``r``."""
+    grid = np.geomspace(halo.a * 1e-3, halo.r_max * 3.0, n_grid)
+    rho = halo.density(grid)
+    integrand = rho * rotation.circular_velocity(grid) ** 2 / grid
+    # Cumulative integral from r to infinity (reverse cumtrapz).
+    seg = 0.5 * (integrand[1:] + integrand[:-1]) * np.diff(grid)
+    tail = np.concatenate([np.cumsum(seg[::-1])[::-1], [0.0]])
+    sigma2 = tail / np.maximum(rho, 1e-300)
+    return np.interp(np.asarray(r, dtype=np.float64), grid, np.sqrt(np.maximum(sigma2, 0.0)))
+
+
+def sample_halo(
+    halo: NFWHalo,
+    rotation: CompositeRotation,
+    n: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(positions, velocities) of ``n`` halo particles."""
+    r = halo.sample_radii(n, rng)
+    mu = rng.uniform(-1.0, 1.0, n)
+    phi = rng.uniform(0.0, 2.0 * np.pi, n)
+    s = np.sqrt(1.0 - mu**2)
+    pos = np.column_stack([r * s * np.cos(phi), r * s * np.sin(phi), r * mu])
+
+    sigma = jeans_sigma(halo, rotation, r)
+    vel = rng.normal(0.0, 1.0, (n, 3)) * sigma[:, None]
+    # Clip at the local escape-ish speed so no particle leaves instantly.
+    v_esc = np.sqrt(2.0) * rotation.circular_velocity(r) * 1.8
+    vmag = np.linalg.norm(vel, axis=1)
+    over = vmag > v_esc
+    if over.any():
+        vel[over] *= (v_esc[over] / vmag[over])[:, None]
+    return pos, vel

@@ -1,0 +1,120 @@
+"""Analytic density profiles and rotation curves.
+
+All lengths in pc, masses in M_sun, velocities in pc/Myr.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.constants import GRAV_CONST
+
+
+@dataclass
+class NFWHalo:
+    """The broken power-law halo of Sec. 4.2: rho ~ r^-1 inner, r^-3 outer.
+
+    rho(r) = rho_s / [(r/a)(1 + r/a)^2], truncated at r_max.
+    """
+
+    m_total: float          # mass within r_max [M_sun]
+    a: float                # scale radius [pc]
+    r_max: float            # truncation radius [pc]
+
+    @property
+    def rho_s(self) -> float:
+        c = self.r_max / self.a
+        norm = np.log(1.0 + c) - c / (1.0 + c)
+        return self.m_total / (4.0 * np.pi * self.a**3 * norm)
+
+    def density(self, r: np.ndarray) -> np.ndarray:
+        x = np.maximum(np.asarray(r, dtype=np.float64), 1e-12) / self.a
+        return self.rho_s / (x * (1.0 + x) ** 2)
+
+    def enclosed_mass(self, r: np.ndarray) -> np.ndarray:
+        x = np.maximum(np.asarray(r, dtype=np.float64), 0.0) / self.a
+        return 4.0 * np.pi * self.rho_s * self.a**3 * (np.log(1.0 + x) - x / (1.0 + x))
+
+    def circular_velocity(self, r: np.ndarray) -> np.ndarray:
+        r = np.maximum(np.asarray(r, dtype=np.float64), 1e-12)
+        return np.sqrt(GRAV_CONST * self.enclosed_mass(r) / r)
+
+    def sample_radii(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Inverse-CDF sampling of the enclosed-mass profile up to r_max."""
+        grid = np.geomspace(self.a * 1e-4, self.r_max, 512)
+        cdf = self.enclosed_mass(grid)
+        cdf /= cdf[-1]
+        u = rng.uniform(0.0, 1.0, n)
+        return np.interp(u, cdf, grid)
+
+
+@dataclass
+class ExponentialDisk:
+    """Radially exponential, vertically sech^2 disk.
+
+    Sigma(R) = M / (2 pi Rd^2) exp(-R/Rd);  rho(R, z) = Sigma sech^2(z/zd)/(2 zd).
+    """
+
+    m_total: float
+    r_d: float     # scale length [pc]
+    z_d: float     # scale height [pc]
+    r_max: float | None = None  # truncation (default 10 Rd)
+
+    def __post_init__(self) -> None:
+        if self.r_max is None:
+            self.r_max = 10.0 * self.r_d
+
+    def surface_density(self, r_cyl: np.ndarray) -> np.ndarray:
+        return (
+            self.m_total
+            / (2.0 * np.pi * self.r_d**2)
+            * np.exp(-np.asarray(r_cyl, dtype=np.float64) / self.r_d)
+        )
+
+    def density(self, r_cyl: np.ndarray, z: np.ndarray) -> np.ndarray:
+        sig = self.surface_density(r_cyl)
+        return sig / (2.0 * self.z_d) / np.cosh(np.asarray(z) / self.z_d) ** 2
+
+    def enclosed_mass_cyl(self, r_cyl: np.ndarray) -> np.ndarray:
+        """Mass inside cylinder radius R (all z)."""
+        x = np.asarray(r_cyl, dtype=np.float64) / self.r_d
+        return self.m_total * (1.0 - (1.0 + x) * np.exp(-x))
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """(n, 3) positions from the truncated disk."""
+        # Radial inverse CDF of the exponential-disk enclosed mass.
+        grid = np.linspace(0.0, float(self.r_max), 2048)
+        cdf = self.enclosed_mass_cyl(grid)
+        cdf /= cdf[-1]
+        u = rng.uniform(0.0, 1.0, n)
+        r = np.interp(u, cdf, grid)
+        phi = rng.uniform(0.0, 2.0 * np.pi, n)
+        # Vertical sech^2: z = zd * atanh(2u - 1).
+        z = self.z_d * np.arctanh(rng.uniform(-1.0, 1.0, n) * (1 - 1e-12))
+        return np.column_stack([r * np.cos(phi), r * np.sin(phi), z])
+
+
+@dataclass
+class CompositeRotation:
+    """Spherically-approximated rotation curve of halo + disks.
+
+    AGAMA solves the full axisymmetric potential; we approximate the disks'
+    contribution by their cylinder-enclosed mass treated spherically, which
+    is accurate to ~10-15% — sufficient for the decomposition/scaling
+    experiments this library targets (documented substitution, DESIGN.md).
+    """
+
+    halo: NFWHalo
+    disks: tuple[ExponentialDisk, ...]
+
+    def enclosed_mass(self, r: np.ndarray) -> np.ndarray:
+        m = self.halo.enclosed_mass(r)
+        for d in self.disks:
+            m = m + d.enclosed_mass_cyl(r)
+        return m
+
+    def circular_velocity(self, r: np.ndarray) -> np.ndarray:
+        r = np.maximum(np.asarray(r, dtype=np.float64), 1e-12)
+        return np.sqrt(GRAV_CONST * self.enclosed_mass(r) / r)

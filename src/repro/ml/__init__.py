@@ -1,0 +1,49 @@
+"""A from-scratch NumPy deep-learning framework for the 3D U-Net surrogate.
+
+The paper trains a Keras/TensorFlow 3D U-Net on an A100 and then deploys it
+for *CPU* inference via ONNX (x86-64) and SoftNeuro (A64FX) so pool nodes
+need no GPUs (Sec. 3.3).  This package reproduces both halves in pure NumPy:
+
+* :mod:`repro.ml.layers` — Conv3D, pooling, upsampling, activations with
+  hand-written backward passes (gradient-checked in the test suite);
+* :mod:`repro.ml.unet` — the 3D U-Net (encoder/decoder with skip
+  concatenations), batch-size-1 training exactly like the paper;
+* :mod:`repro.ml.optim` / :mod:`repro.ml.loss` — Adam and MSE;
+* :mod:`repro.ml.train` — the training loop with validation tracking;
+* :mod:`repro.ml.serialize` — an ONNX-like export (architecture JSON +
+  weights NPZ) and a forward-only :class:`InferenceEngine` standing in for
+  the ONNX Runtime / SoftNeuro deployment.
+
+Tensors are (C, D, H, W) single samples — batch size 1, as in the paper.
+"""
+
+from repro.ml.layers import (
+    Conv3D,
+    LeakyReLU,
+    MaxPool3D,
+    Upsample3D,
+    Layer,
+)
+from repro.ml.unet import UNet3D
+from repro.ml.loss import mse_loss, mse_grad
+from repro.ml.optim import Adam, SGD
+from repro.ml.train import train_model, TrainHistory
+from repro.ml.serialize import save_model, load_model, InferenceEngine
+
+__all__ = [
+    "Conv3D",
+    "LeakyReLU",
+    "MaxPool3D",
+    "Upsample3D",
+    "Layer",
+    "UNet3D",
+    "mse_loss",
+    "mse_grad",
+    "Adam",
+    "SGD",
+    "train_model",
+    "TrainHistory",
+    "save_model",
+    "load_model",
+    "InferenceEngine",
+]

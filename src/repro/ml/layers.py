@@ -1,0 +1,198 @@
+"""Neural-network layers with hand-written backward passes.
+
+All tensors are single samples shaped (C, D, H, W).  Convolutions are
+implemented as a sum of k^3 shifted matmuls — each tap is one
+(C_out, C_in) @ (C_in, D*H*W) product — which is both the fastest pure-NumPy
+strategy for small kernels and exactly the dataflow a CPU inference engine
+like the paper's ONNX/SoftNeuro deployment uses after layout optimization.
+
+Every layer caches what its backward pass needs during ``forward`` and
+exposes ``params()``/``grads()`` dictionaries for the optimizer; the
+gradients are verified against finite differences in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Layer:
+    """Base layer: forward/backward plus parameter access."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        return {}
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Conv3D(Layer):
+    """3D convolution, stride 1, 'same' zero padding.
+
+    Weight shape (C_out, C_in, k, k, k); He-normal initialization.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if kernel_size % 2 != 1:
+            raise ValueError("kernel_size must be odd for 'same' padding")
+        rng = rng or np.random.default_rng(0)
+        self.cin = in_channels
+        self.cout = out_channels
+        self.k = kernel_size
+        fan_in = in_channels * kernel_size**3
+        self.weight = rng.normal(0.0, np.sqrt(2.0 / fan_in),
+                                 (out_channels, in_channels, *(kernel_size,) * 3))
+        self.bias = np.zeros(out_channels)
+        self.dweight = np.zeros_like(self.weight)
+        self.dbias = np.zeros_like(self.bias)
+        self._x_padded: np.ndarray | None = None
+        self._shape: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        c, d, h, w = x.shape
+        if c != self.cin:
+            raise ValueError(f"expected {self.cin} input channels, got {c}")
+        p = self.k // 2
+        xp = np.pad(x, ((0, 0), (p, p), (p, p), (p, p)))
+        self._x_padded = xp
+        self._shape = (c, d, h, w)
+        out = np.zeros((self.cout, d, h, w))
+        flat = out.reshape(self.cout, -1)
+        for i in range(self.k):
+            for j in range(self.k):
+                for l in range(self.k):
+                    patch = xp[:, i : i + d, j : j + h, l : l + w].reshape(c, -1)
+                    flat += self.weight[:, :, i, j, l] @ patch
+        out += self.bias[:, None, None, None]
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._x_padded is not None and self._shape is not None
+        c, d, h, w = self._shape
+        p = self.k // 2
+        xp = self._x_padded
+        gflat = grad.reshape(self.cout, -1)
+        self.dbias[...] = grad.sum(axis=(1, 2, 3))
+        dxp = np.zeros_like(xp)
+        for i in range(self.k):
+            for j in range(self.k):
+                for l in range(self.k):
+                    patch = xp[:, i : i + d, j : j + h, l : l + w].reshape(c, -1)
+                    self.dweight[:, :, i, j, l] = gflat @ patch.T
+                    dxp[:, i : i + d, j : j + h, l : l + w] += (
+                        self.weight[:, :, i, j, l].T @ gflat
+                    ).reshape(c, d, h, w)
+        if p:
+            return dxp[:, p:-p, p:-p, p:-p]
+        return dxp
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        return {"weight": self.dweight, "bias": self.dbias}
+
+
+class LeakyReLU(Layer):
+    """max(x, slope * x)."""
+
+    def __init__(self, slope: float = 0.1) -> None:
+        self.slope = slope
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x >= 0
+        return np.where(self._mask, x, self.slope * x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._mask is not None
+        return np.where(self._mask, grad, self.slope * grad)
+
+
+class MaxPool3D(Layer):
+    """2x2x2 max pooling; dims must be even."""
+
+    def __init__(self) -> None:
+        self._argmax: np.ndarray | None = None
+        self._shape: tuple | None = None
+
+    @staticmethod
+    def _blocks(x: np.ndarray) -> np.ndarray:
+        c, d, h, w = x.shape
+        xr = x.reshape(c, d // 2, 2, h // 2, 2, w // 2, 2)
+        return xr.transpose(0, 1, 3, 5, 2, 4, 6).reshape(c, d // 2, h // 2, w // 2, 8)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        c, d, h, w = x.shape
+        if d % 2 or h % 2 or w % 2:
+            raise ValueError("MaxPool3D needs even spatial dimensions")
+        blocks = self._blocks(x)
+        self._argmax = blocks.argmax(axis=-1)
+        self._shape = x.shape
+        return blocks.max(axis=-1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._argmax is not None and self._shape is not None
+        c, d, h, w = self._shape
+        out_blocks = np.zeros((c, d // 2, h // 2, w // 2, 8))
+        np.put_along_axis(out_blocks, self._argmax[..., None], grad[..., None], axis=-1)
+        xr = out_blocks.reshape(c, d // 2, h // 2, w // 2, 2, 2, 2)
+        return xr.transpose(0, 1, 4, 2, 5, 3, 6).reshape(c, d, h, w)
+
+
+class Upsample3D(Layer):
+    """Nearest-neighbor 2x upsampling; backward sums over the 2^3 block."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x.repeat(2, axis=1).repeat(2, axis=2).repeat(2, axis=3)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        c, d, h, w = grad.shape
+        gr = grad.reshape(c, d // 2, 2, h // 2, 2, w // 2, 2)
+        return gr.sum(axis=(2, 4, 6))
+
+
+class Sequential(Layer):
+    """A simple forward/backward chain of layers."""
+
+    def __init__(self, *layers: Layer) -> None:
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def params(self) -> dict[str, np.ndarray]:
+        out: dict[str, np.ndarray] = {}
+        for idx, layer in enumerate(self.layers):
+            for k, v in layer.params().items():
+                out[f"{idx}.{k}"] = v
+        return out
+
+    def grads(self) -> dict[str, np.ndarray]:
+        out: dict[str, np.ndarray] = {}
+        for idx, layer in enumerate(self.layers):
+            for k, v in layer.grads().items():
+                out[f"{idx}.{k}"] = v
+        return out

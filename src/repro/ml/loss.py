@@ -1,0 +1,23 @@
+"""Losses — the paper trains with plain MSE between true and predicted
+log-space physical fields (Sec. 3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean squared error over all elements."""
+    diff = np.asarray(pred) - np.asarray(target)
+    return float(np.mean(diff**2))
+
+
+def mse_grad(pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """d(MSE)/d(pred)."""
+    diff = np.asarray(pred) - np.asarray(target)
+    return 2.0 * diff / diff.size
+
+
+def mae_loss(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error (reported as a secondary validation metric)."""
+    return float(np.mean(np.abs(np.asarray(pred) - np.asarray(target))))

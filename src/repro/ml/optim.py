@@ -1,0 +1,63 @@
+"""Optimizers: Adam (the paper's choice, lr = 1e-6) and SGD.
+
+Optimizers mutate the parameter arrays of a model in place, keyed by the
+model's ``params()``/``grads()`` dictionaries, so the same instance can be
+reused across steps without re-registering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SGD:
+    """Plain (optionally momentum) stochastic gradient descent."""
+
+    def __init__(self, lr: float = 1e-3, momentum: float = 0.0) -> None:
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def step(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
+        for k, p in params.items():
+            g = grads[k]
+            if self.momentum:
+                v = self._velocity.setdefault(k, np.zeros_like(p))
+                v *= self.momentum
+                v -= self.lr * g
+                p += v
+            else:
+                p -= self.lr * g
+
+
+class Adam:
+    """Adam (Kingma & Ba 2015) — the paper's optimizer (Sec. 3.3)."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.t = 0
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+
+    def step(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
+        self.t += 1
+        b1t = 1.0 - self.beta1**self.t
+        b2t = 1.0 - self.beta2**self.t
+        for k, p in params.items():
+            g = grads[k]
+            m = self._m.setdefault(k, np.zeros_like(p))
+            v = self._v.setdefault(k, np.zeros_like(p))
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * g**2
+            p -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)

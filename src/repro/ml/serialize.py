@@ -1,0 +1,72 @@
+"""Model export and CPU inference — the ONNX/SoftNeuro deployment path.
+
+The paper avoids GPU inference on the pool nodes by exporting the trained
+Keras model to ONNX (x86-64) / SoftNeuro (A64FX) and running it on CPUs
+(Sec. 3.3).  We mirror that split: :func:`save_model` writes a single
+``.npz`` holding the architecture config (JSON) plus every weight tensor,
+and :class:`InferenceEngine` is the forward-only runtime that pool nodes
+load — it never allocates gradient buffers and is the only ML entry point
+:mod:`repro.core.pool` uses.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.ml.unet import UNet3D
+
+
+def save_model(model: UNet3D, path: str | Path) -> None:
+    """Serialize architecture + weights to one ``.npz`` file."""
+    payload: dict[str, np.ndarray] = {
+        f"param/{k}": v for k, v in model.params().items()
+    }
+    payload["config"] = np.frombuffer(
+        json.dumps(model.config()).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **payload)
+
+
+def load_model(path: str | Path) -> UNet3D:
+    """Rebuild a trainable U-Net from a saved file."""
+    with np.load(path) as data:
+        config = json.loads(bytes(data["config"]).decode("utf-8"))
+        model = UNet3D(**config)
+        model.load_params(
+            {k[len("param/"):]: data[k] for k in data.files if k.startswith("param/")}
+        )
+    return model
+
+
+class InferenceEngine:
+    """Forward-only CPU runtime for an exported U-Net.
+
+    Usage::
+
+        engine = InferenceEngine.load("surrogate.npz")
+        fields_out = engine(fields_in)     # (C_in, n, n, n) -> (C_out, n, n, n)
+    """
+
+    def __init__(self, model: UNet3D) -> None:
+        self._model = model
+
+    @classmethod
+    def load(cls, path: str | Path) -> "InferenceEngine":
+        return cls(load_model(path))
+
+    @property
+    def in_channels(self) -> int:
+        return self._model.in_channels
+
+    @property
+    def out_channels(self) -> int:
+        return self._model.out_channels
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self._model.forward(np.asarray(x, dtype=np.float64))
+
+    def n_parameters(self) -> int:
+        return self._model.n_parameters()

@@ -1,0 +1,97 @@
+"""Training loop: batch size 1, MSE, Adam — the paper's recipe (Sec. 3.3).
+
+The paper trains for 100 epochs with batch size 1 at lr = 1e-6 and keeps the
+model once validation error "converged and stabilized"; :func:`train_model`
+reproduces that loop at configurable scale with per-epoch train/validation
+tracking and optional early stopping on validation plateau.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.layers import Layer
+from repro.ml.loss import mse_grad, mse_loss
+from repro.ml.optim import Adam
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch losses."""
+
+    train: list[float] = field(default_factory=list)
+    val: list[float] = field(default_factory=list)
+
+    @property
+    def best_val(self) -> float:
+        return min(self.val) if self.val else np.inf
+
+
+def train_model(
+    model: Layer,
+    inputs: list[np.ndarray],
+    targets: list[np.ndarray],
+    epochs: int = 10,
+    lr: float = 1e-3,
+    val_fraction: float = 0.2,
+    optimizer: Adam | None = None,
+    shuffle: bool = True,
+    seed: int = 0,
+    patience: int | None = None,
+) -> TrainHistory:
+    """Train ``model`` on (inputs[i], targets[i]) pairs, batch size 1.
+
+    ``patience`` enables early stopping when validation loss has not
+    improved for that many epochs.  Returns the loss history.
+    """
+    if len(inputs) != len(targets):
+        raise ValueError("inputs and targets must pair up")
+    if len(inputs) == 0:
+        raise ValueError("no training data")
+    rng = np.random.default_rng(seed)
+    n = len(inputs)
+    n_val = int(round(val_fraction * n))
+    perm = rng.permutation(n)
+    val_idx = perm[:n_val]
+    train_idx = perm[n_val:]
+    if len(train_idx) == 0:
+        train_idx, val_idx = perm, perm[:0]
+
+    opt = optimizer or Adam(lr=lr)
+    history = TrainHistory()
+    stale = 0
+    best = np.inf
+    for _epoch in range(epochs):
+        order = rng.permutation(train_idx) if shuffle else train_idx
+        ep_loss = 0.0
+        for i in order:
+            pred = model.forward(inputs[i])
+            ep_loss += mse_loss(pred, targets[i])
+            model.backward(mse_grad(pred, targets[i]))
+            opt.step(model.params(), model.grads())
+        history.train.append(ep_loss / max(len(order), 1))
+
+        if len(val_idx):
+            v = float(
+                np.mean([mse_loss(model.forward(inputs[i]), targets[i]) for i in val_idx])
+            )
+        else:
+            v = history.train[-1]
+        history.val.append(v)
+        if patience is not None:
+            if v < best - 1e-12:
+                best, stale = v, 0
+            else:
+                stale += 1
+                if stale >= patience:
+                    break
+    return history
+
+
+def evaluate_model(
+    model: Layer, inputs: list[np.ndarray], targets: list[np.ndarray]
+) -> float:
+    """Mean MSE of the model over a dataset."""
+    return float(np.mean([mse_loss(model.forward(x), y) for x, y in zip(inputs, targets)]))

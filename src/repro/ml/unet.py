@@ -1,0 +1,173 @@
+"""The 3D U-Net surrogate architecture (Sec. 3.3, Fig. 3).
+
+Encoder/decoder with skip concatenations:
+
+* each level applies two (Conv3D + LeakyReLU) blocks;
+* downsampling is 2x max pooling, upsampling is nearest-neighbor 2x;
+* decoder levels concatenate the matching encoder feature map;
+* a final 1x1x1 convolution maps to the output fields.
+
+The paper's configuration is 8 input channels (log density, log
+temperature, and the log-magnitude positive/negative halves of three
+velocity components) and 5 output fields on a 64^3 grid; the class is fully
+parameterized so the tests can run tiny instances (e.g. 8^3, base=4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.layers import Conv3D, Layer, LeakyReLU, MaxPool3D, Upsample3D
+
+
+class _ConvBlock(Layer):
+    """(Conv3D -> LeakyReLU) x 2."""
+
+    def __init__(self, cin: int, cout: int, rng: np.random.Generator) -> None:
+        self.c1 = Conv3D(cin, cout, 3, rng=rng)
+        self.a1 = LeakyReLU()
+        self.c2 = Conv3D(cout, cout, 3, rng=rng)
+        self.a2 = LeakyReLU()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.a2(self.c2(self.a1(self.c1(x))))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self.c1.backward(self.a1.backward(self.c2.backward(self.a2.backward(grad))))
+
+    def params(self) -> dict[str, np.ndarray]:
+        out = {}
+        for name, layer in (("c1", self.c1), ("c2", self.c2)):
+            for k, v in layer.params().items():
+                out[f"{name}.{k}"] = v
+        return out
+
+    def grads(self) -> dict[str, np.ndarray]:
+        out = {}
+        for name, layer in (("c1", self.c1), ("c2", self.c2)):
+            for k, v in layer.grads().items():
+                out[f"{name}.{k}"] = v
+        return out
+
+
+class UNet3D(Layer):
+    """A 3D U-Net: ``depth`` pooling levels over a ``base``-channel stem.
+
+    Input (in_channels, n, n, n) with n divisible by 2**depth; output
+    (out_channels, n, n, n).
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 8,
+        out_channels: int = 5,
+        base_channels: int = 16,
+        depth: int = 2,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.base_channels = base_channels
+        self.depth = depth
+        self.seed = seed
+
+        chans = [base_channels * 2**lv for lv in range(depth + 1)]
+        self.encoders = []
+        cin = in_channels
+        for lv in range(depth):
+            self.encoders.append(_ConvBlock(cin, chans[lv], rng))
+            cin = chans[lv]
+        self.pools = [MaxPool3D() for _ in range(depth)]
+        self.bottleneck = _ConvBlock(cin, chans[depth], rng)
+        self.ups = [Upsample3D() for _ in range(depth)]
+        self.decoders = []
+        for lv in reversed(range(depth)):
+            # concat(upsampled deeper map, encoder skip) channels in.
+            self.decoders.append(_ConvBlock(chans[lv + 1] + chans[lv], chans[lv], rng))
+        self.head = Conv3D(chans[0], out_channels, 1, rng=rng)
+        self._skip_channels: list[int] = []
+
+    # ------------------------------------------------------------------ passes
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[0] != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {x.shape[0]}")
+        if any(s % 2**self.depth for s in x.shape[1:]):
+            raise ValueError(f"spatial dims must be divisible by {2**self.depth}")
+        skips: list[np.ndarray] = []
+        for enc, pool in zip(self.encoders, self.pools):
+            x = enc.forward(x)
+            skips.append(x)
+            x = pool.forward(x)
+        x = self.bottleneck.forward(x)
+        self._skip_channels = [s.shape[0] for s in skips]
+        for dec, up, skip in zip(self.decoders, self.ups, reversed(skips)):
+            x = up.forward(x)
+            x = np.concatenate([x, skip], axis=0)
+            x = dec.forward(x)
+        return self.head.forward(x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = self.head.backward(grad)
+        skip_grads: list[np.ndarray] = []
+        for dec, up, c_skip in zip(
+            self.decoders, self.ups, reversed(self._skip_channels)
+        ):
+            grad = dec.backward(grad)
+            c_up = grad.shape[0] - c_skip
+            skip_grads.append(grad[c_up:])
+            grad = up.backward(grad[:c_up])
+        grad = self.bottleneck.backward(grad)
+        for enc, pool, sg in zip(
+            reversed(self.encoders), reversed(self.pools), skip_grads
+        ):
+            grad = pool.backward(grad)
+            grad = enc.backward(grad + sg)
+        return grad
+
+    # ------------------------------------------------------------- parameters
+    def _named_modules(self) -> list[tuple[str, Layer]]:
+        mods: list[tuple[str, Layer]] = []
+        for i, enc in enumerate(self.encoders):
+            mods.append((f"enc{i}", enc))
+        mods.append(("bottleneck", self.bottleneck))
+        for i, dec in enumerate(self.decoders):
+            mods.append((f"dec{i}", dec))
+        mods.append(("head", self.head))
+        return mods
+
+    def params(self) -> dict[str, np.ndarray]:
+        out: dict[str, np.ndarray] = {}
+        for name, mod in self._named_modules():
+            for k, v in mod.params().items():
+                out[f"{name}.{k}"] = v
+        return out
+
+    def grads(self) -> dict[str, np.ndarray]:
+        out: dict[str, np.ndarray] = {}
+        for name, mod in self._named_modules():
+            for k, v in mod.grads().items():
+                out[f"{name}.{k}"] = v
+        return out
+
+    def n_parameters(self) -> int:
+        return sum(int(np.prod(p.shape)) for p in self.params().values())
+
+    # -------------------------------------------------------------- serialize
+    def config(self) -> dict:
+        """Architecture hyper-parameters (the JSON half of the export)."""
+        return {
+            "in_channels": self.in_channels,
+            "out_channels": self.out_channels,
+            "base_channels": self.base_channels,
+            "depth": self.depth,
+            "seed": self.seed,
+        }
+
+    def load_params(self, values: dict[str, np.ndarray]) -> None:
+        mine = self.params()
+        missing = set(mine) - set(values)
+        if missing:
+            raise KeyError(f"missing parameters: {sorted(missing)[:5]}")
+        for k, v in mine.items():
+            v[...] = values[k]

@@ -1,0 +1,50 @@
+"""Machine/network performance model for Fugaku, Rusty and Miyabi.
+
+The paper's headline evaluation (weak/strong scaling to 148,900 nodes,
+Figs. 6–7; the time/FLOP breakdown of Table 3; the per-ISA kernel speeds of
+Table 4) ran on hardware this reproduction cannot access.  Per the
+substitution policy in DESIGN.md we model it instead:
+
+* :mod:`repro.perf.machines` — node specs (A64FX / genoa / GH200) and
+  network parameters (TofuD torus, InfiniBand);
+* :mod:`repro.perf.kernels` — a semi-empirical per-ISA efficiency model of
+  the PIKG interaction kernels (pipeline-latency, register-count,
+  table-lookup and gather penalties), reproducing Table 4;
+* :mod:`repro.perf.costmodel` — per-step time for every breakdown part of
+  Fig. 6/Table 3, built from the same algorithmic counts the real code has
+  (tree O(N log N), LET surface terms, 3-phase alltoallv) and calibrated at
+  the single Table 3 anchor (weakMW2M on 150k nodes);
+* :mod:`repro.perf.scaling` — weak/strong scaling sweeps (Figs. 6–7) and
+  the Sec. 5.3 time-to-solution arithmetic (the 113x and 10x claims).
+
+The *shape* of the curves — which parts dominate where, the log N weak-
+scaling slope, communication overtaking compute at high node counts — is
+the reproduction target; absolute seconds inherit the calibration.
+"""
+
+from repro.perf.machines import FUGAKU, RUSTY, MIYABI, Machine, NetworkSpec
+from repro.perf.kernels import kernel_performance_table, KernelPerf
+from repro.perf.costmodel import StepCostModel, RunConfig, PAPER_TABLE3
+from repro.perf.scaling import (
+    weak_scaling_curve,
+    strong_scaling_curve,
+    time_to_solution_speedup,
+    timestep_ratio_vs_conventional,
+)
+
+__all__ = [
+    "FUGAKU",
+    "RUSTY",
+    "MIYABI",
+    "Machine",
+    "NetworkSpec",
+    "kernel_performance_table",
+    "KernelPerf",
+    "StepCostModel",
+    "RunConfig",
+    "PAPER_TABLE3",
+    "weak_scaling_curve",
+    "strong_scaling_curve",
+    "time_to_solution_speedup",
+    "timestep_ratio_vs_conventional",
+]

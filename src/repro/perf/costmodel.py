@@ -1,0 +1,230 @@
+"""Per-step cost model — the breakdown of Fig. 6 / Table 3.
+
+Every part's *functional form* comes from the algorithm analysis the paper
+gives in Sec. 5.2; a single calibration at the Table 3 anchor (weakMW2M on
+148,896 Fugaku nodes) fixes the constants:
+
+==========================  =================================================
+part                        scaling form
+==========================  =================================================
+interaction (per kernel)    flops = N_loc * n_l * ops;  n_l = n_g + c log2 N
+tree construction           ~ N_loc log2(N_loc / n_g)   (memory-latency bound)
+LET exchange                ~ N_loc^{2/3} surface * p^{1/3} phases (3D A2A)
+particle exchange           same surface scaling + domain-shape factor
+kernel-size iteration       2 sweeps of the density pass (Sec. 5.2.5)
+other (SF, cooling, misc.)  ~ N_loc
+==========================  =================================================
+
+Cross-machine transfer uses the per-ISA kernel model of
+:mod:`repro.perf.kernels` and each machine's network parameters, with one
+documented per-machine overhead factor calibrated from the machine's own
+Table 3 interaction rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fdps.interaction import OPS_PER_INTERACTION
+from repro.perf.kernels import kernel_efficiency
+from repro.perf.machines import FUGAKU, MIYABI, RUSTY, Machine
+
+#: Paper Table 3 anchor: weakMW2M, 148,896 nodes (wall seconds / PFLOP).
+PAPER_TABLE3 = {
+    "total": (20.34, 1.67e2),
+    "particle_exchange": (3.87, None),
+    "tree_gravity": (0.96, None),
+    "tree_hydro": (0.12, None),
+    "let_gravity": (3.89, None),
+    "let_hydro": (1.41, None),
+    "interaction_gravity": (1.63, 1.47e2),
+    "interaction_hydro_force": (0.34, 4.36),
+    "interaction_density": (1.18, 3.81),
+    "kernel_size": (3.18, 1.78),
+}
+
+_ANCHOR_NODES = 148_896
+_ANCHOR_NLOC = 2.0e6
+_ANCHOR_N = _ANCHOR_NODES * _ANCHOR_NLOC
+_ANCHOR_GAS_FRACTION = 4.9e10 / 3.0e11
+
+#: Per-machine overhead factor: achieved interaction rate at scale over
+#: (peak * modeled kernel efficiency).  Calibrated from each machine's own
+#: Table 3 gravity row (Fugaku: 147 PFLOP / 1.63 s / 915 PF peak; Rusty:
+#: 119 PFLOP / 138 s on 193 nodes; Miyabi: 52.4 PFLOP / 22.6 s on 1024
+#: GPUs — i.e. 2.26 TF/GPU achieved against the 25.4 TF asymptotic kernel).
+_MACHINE_OVERHEAD = {"Fugaku": 0.30, "Rusty (genoa)": 0.51, "Miyabi": 0.089}
+
+
+@dataclass
+class RunConfig:
+    """What the cost model needs to price one global step."""
+
+    machine: Machine
+    n_nodes: int
+    n_particles: float
+    gas_fraction: float = _ANCHOR_GAS_FRACTION
+    n_g: int = 2048
+
+    @property
+    def n_loc(self) -> float:
+        return self.n_particles / self.n_nodes
+
+    @property
+    def n_gas(self) -> float:
+        return self.n_particles * self.gas_fraction
+
+
+@dataclass
+class StepCostModel:
+    """Evaluates the per-part step time for a :class:`RunConfig`."""
+
+    # Interaction-list growth with problem size (calibrated from the
+    # 1.47e2 PFLOP gravity count at the anchor: n_l ~ n_g + c log2 N).
+    c_walk_gravity: float = field(default=0.0, init=False)
+    # Hydro interactions per gas particle: group-shared lists make this far
+    # larger than the neighbor count; calibrated from the anchor FLOP rows
+    # (3.81 PFLOP density / 4.36 PFLOP force over 4.9e10 gas particles).
+    c_density_list: float = field(default=0.0, init=False)
+    c_force_list: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        flops = PAPER_TABLE3["interaction_gravity"][1] * 1e15
+        n_l = flops / OPS_PER_INTERACTION["gravity"] / _ANCHOR_N
+        self.c_walk_gravity = (n_l - 2048) / np.log2(_ANCHOR_N)
+        n_gas_anchor = _ANCHOR_N * _ANCHOR_GAS_FRACTION
+        self.c_density_list = (
+            PAPER_TABLE3["interaction_density"][1] * 1e15
+            / OPS_PER_INTERACTION["hydro_density"]
+            / n_gas_anchor
+        )
+        self.c_force_list = (
+            PAPER_TABLE3["interaction_hydro_force"][1] * 1e15
+            / OPS_PER_INTERACTION["hydro_force"]
+            / n_gas_anchor
+        )
+
+    # ------------------------------------------------------------- primitives
+    def gravity_list_length(self, cfg: RunConfig) -> float:
+        return cfg.n_g + self.c_walk_gravity * np.log2(max(cfg.n_particles, 2.0))
+
+    def _interaction_rate(self, cfg: RunConfig, kernel: str) -> float:
+        """Achieved node-level flop rate [flop/s] for a kernel at scale."""
+        m = cfg.machine
+        avx2 = False
+        eff = kernel_efficiency(m.processor, kernel, avx2)
+        peak = m.peak_sp_node_tflops * 1e12
+        return peak * eff * _MACHINE_OVERHEAD[m.name]
+
+    def _anchored(self, key: str, value_at_anchor: float, scale: float) -> float:
+        """Paper anchor seconds x a dimensionless scale factor."""
+        return PAPER_TABLE3[key][0] * scale
+
+    # ------------------------------------------------------------------ parts
+    def flops(self, cfg: RunConfig) -> dict[str, float]:
+        """Per-step FLOP counts [flop] per kernel part."""
+        n_l_g = self.gravity_list_length(cfg)
+        grav = cfg.n_particles * n_l_g * OPS_PER_INTERACTION["gravity"]
+        dens = cfg.n_gas * self.c_density_list * OPS_PER_INTERACTION["hydro_density"]
+        force = cfg.n_gas * self.c_force_list * OPS_PER_INTERACTION["hydro_force"]
+        # Kernel-size iteration: density-like sweeps; its flop volume stays
+        # in the anchor's fixed proportion to the density pass (1.78/3.81).
+        ksize = PAPER_TABLE3["kernel_size"][1] / PAPER_TABLE3["interaction_density"][1] * dens
+        return {
+            "interaction_gravity": grav,
+            "interaction_density": dens,
+            "interaction_hydro_force": force,
+            "kernel_size": ksize,
+        }
+
+    def breakdown(self, cfg: RunConfig) -> dict[str, float]:
+        """Wall seconds per part for one global step."""
+        p = cfg.n_nodes
+        n_loc = cfg.n_loc
+        fl = self.flops(cfg)
+
+        out: dict[str, float] = {}
+        # --- compute parts: flops / achieved rate -------------------------------
+        out["interaction_gravity"] = fl["interaction_gravity"] / (
+            p * self._interaction_rate(cfg, "gravity")
+        )
+        # Hydro parts run at rates calibrated from their own anchor rows
+        # (they are far below the gravity rate: short lists, poor SIMD use).
+        for key, kernel in (
+            ("interaction_density", "hydro_density"),
+            ("interaction_hydro_force", "hydro_force"),
+            ("kernel_size", "hydro_density"),
+        ):
+            anchor_t, anchor_f = PAPER_TABLE3[key]
+            anchor_rate = anchor_f * 1e15 / anchor_t / _ANCHOR_NODES  # flop/s/node
+            m = cfg.machine
+            rel = (
+                m.peak_sp_node_tflops
+                * kernel_efficiency(m.processor, kernel)
+                * _MACHINE_OVERHEAD[m.name]
+            ) / (
+                FUGAKU.peak_sp_node_tflops
+                * kernel_efficiency(FUGAKU.processor, kernel)
+                * _MACHINE_OVERHEAD[FUGAKU.name]
+            )
+            out[key] = fl[key] / (p * anchor_rate * rel)
+
+        # --- tree construction: N_loc log(N_loc/n_g), latency bound -------------
+        def tree_scale(n_local: float) -> float:
+            return n_local * np.log2(max(n_local / cfg.n_g, 2.0))
+
+        anchor_tree = tree_scale(_ANCHOR_NLOC)
+        # Tree traversal is pointer-chasing: scale by the core's random-
+        # access speed, not its memory bandwidth.
+        mem_rel = cfg.machine.processor.random_access_factor
+        out["tree_gravity"] = self._anchored(
+            "tree_gravity", 0.0, tree_scale(n_loc) / anchor_tree / mem_rel
+        )
+        out["tree_hydro"] = self._anchored(
+            "tree_hydro",
+            0.0,
+            tree_scale(n_loc * cfg.gas_fraction)
+            / tree_scale(_ANCHOR_NLOC * _ANCHOR_GAS_FRACTION)
+            / mem_rel,
+        )
+
+        # --- communication parts: surface bytes x p^{1/3} phases ----------------
+        net_rel = cfg.machine.network.bandwidth_gb_s / FUGAKU.network.bandwidth_gb_s
+        comm_scale = (
+            (n_loc / _ANCHOR_NLOC) ** (2.0 / 3.0)
+            * (p / _ANCHOR_NODES) ** (1.0 / 3.0)
+            / net_rel
+        )
+        out["let_gravity"] = self._anchored("let_gravity", 0.0, comm_scale)
+        out["let_hydro"] = self._anchored("let_hydro", 0.0, comm_scale)
+        out["particle_exchange"] = self._anchored("particle_exchange", 0.0, comm_scale)
+
+        # --- everything else (SF, cooling, SN send/recv, barriers) --------------
+        # Scales with the per-node particle load over the node's scalar
+        # throughput (cores x clock relative to the Fugaku anchor).
+        itemized = sum(t for k, (t, _) in PAPER_TABLE3.items() if k != "total")
+        residual_anchor = PAPER_TABLE3["total"][0] - itemized
+        core_rel = (
+            cfg.machine.processor.cores
+            * cfg.machine.processor.clock_ghz
+            * cfg.machine.sockets_per_node
+        ) / (FUGAKU.processor.cores * FUGAKU.processor.clock_ghz)
+        out["other"] = residual_anchor * (n_loc / _ANCHOR_NLOC) / core_rel
+        return out
+
+    def total(self, cfg: RunConfig) -> float:
+        return float(sum(self.breakdown(cfg).values()))
+
+    def total_flops(self, cfg: RunConfig) -> float:
+        return float(sum(self.flops(cfg).values()))
+
+    def achieved_pflops(self, cfg: RunConfig) -> float:
+        """System-level sustained PFLOPS for the whole step."""
+        return self.total_flops(cfg) / self.total(cfg) / 1e15
+
+    def efficiency(self, cfg: RunConfig) -> float:
+        """Fraction of the machine's aggregate SP peak."""
+        peak = cfg.machine.peak_system_pflops(cfg.n_nodes)
+        return self.achieved_pflops(cfg) / peak

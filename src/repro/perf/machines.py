@@ -1,0 +1,149 @@
+"""Machine specifications (Sec. 4.1).
+
+Numbers are taken directly from the paper's system descriptions:
+
+* **Fugaku** — 158,976 nodes of one Fujitsu A64FX (48 cores, 2.0 GHz),
+  32 GB/node, 6.144 TF single / 3.072 TF double per node, TofuD 6D
+  mesh/torus (used as a folded 3D torus by the rank mapping);
+* **Rusty (genoa)** — 432 nodes of 2x AMD EPYC 9474F (48 cores, 4.1 GHz),
+  1.5 TB/node, 6.298 TF single per socket, InfiniBand;
+* **Miyabi (Miyabi-G)** — 1,120 nodes of NVIDIA GH200 (72-core Grace,
+  3.0 GHz + H100, 66.9 TF), NVLink-C2C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Alpha-beta network model plus topology class."""
+
+    topology: str               # "torus3d" or "fat-tree"
+    latency_us: float           # per-message software+wire latency
+    bandwidth_gb_s: float       # per-node injection bandwidth
+    links_per_node: int = 1
+
+    def message_time(self, nbytes: float, n_messages: int = 1) -> float:
+        """Seconds for n sequential messages totalling nbytes from one node."""
+        return n_messages * self.latency_us * 1e-6 + nbytes / (
+            self.bandwidth_gb_s * 1e9
+        )
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """One socket/accelerator."""
+
+    name: str
+    isa: str                    # "a64fx-sve" | "genoa-avx2" | "genoa-avx512" | "gh200"
+    cores: int
+    clock_ghz: float
+    peak_sp_tflops: float       # single-precision peak per socket
+    fma_latency_cycles: int     # pipeline latency of the FP units
+    simd_registers: int         # architectural vector registers
+    has_fast_table_lookup: bool # SVE/AVX-512 permute-based lookup
+    memory_bw_gb_s: float
+    #: Relative pointer-chasing speed (tree traversal is latency-, not
+    #: bandwidth-bound; A64FX = 1.0 is the reference — its weak
+    #: out-of-order core is why Tree construction costs ~1 s/step there).
+    random_access_factor: float = 1.0
+
+    @property
+    def peak_sp_per_core_gflops(self) -> float:
+        return self.peak_sp_tflops * 1e3 / self.cores
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A full system: nodes of (possibly several) sockets plus network."""
+
+    name: str
+    processor: ProcessorSpec
+    sockets_per_node: int
+    n_nodes_max: int
+    mem_per_node_gb: float
+    network: NetworkSpec
+    mpi_per_node: int
+    threads_per_mpi: int
+
+    @property
+    def peak_sp_node_tflops(self) -> float:
+        return self.processor.peak_sp_tflops * self.sockets_per_node
+
+    def peak_system_pflops(self, n_nodes: int) -> float:
+        return self.peak_sp_node_tflops * n_nodes / 1e3
+
+
+A64FX = ProcessorSpec(
+    name="Fujitsu A64FX",
+    isa="a64fx-sve",
+    cores=48,
+    clock_ghz=2.0,
+    peak_sp_tflops=6.144,
+    fma_latency_cycles=9,      # the paper: "9 cycles for FMA"
+    simd_registers=32,
+    has_fast_table_lookup=True,
+    memory_bw_gb_s=1024.0,     # HBM2
+    random_access_factor=1.0,
+)
+
+GENOA = ProcessorSpec(
+    name="AMD EPYC 9474F",
+    isa="genoa-avx512",
+    cores=48,
+    clock_ghz=4.1,
+    peak_sp_tflops=6.298,
+    fma_latency_cycles=4,
+    simd_registers=32,
+    has_fast_table_lookup=True,   # AVX-512 permute
+    memory_bw_gb_s=460.0,
+    random_access_factor=5.0,     # deep OoO core + big caches
+)
+
+GH200 = ProcessorSpec(
+    name="NVIDIA GH200 (H100)",
+    isa="gh200",
+    cores=132,                  # SMs
+    clock_ghz=1.8,
+    peak_sp_tflops=66.9,
+    fma_latency_cycles=4,
+    simd_registers=65536,       # register file per SM, effectively unbound
+    has_fast_table_lookup=False,  # shared-memory lookup; PIKG untuned (Sec. 5.4)
+    memory_bw_gb_s=3350.0,
+    random_access_factor=3.0,   # the Grace CPU side does the tree work
+)
+
+FUGAKU = Machine(
+    name="Fugaku",
+    processor=A64FX,
+    sockets_per_node=1,
+    n_nodes_max=158_976,
+    mem_per_node_gb=32.0,
+    network=NetworkSpec(topology="torus3d", latency_us=1.2, bandwidth_gb_s=6.8),
+    mpi_per_node=1,
+    threads_per_mpi=48,
+)
+
+RUSTY = Machine(
+    name="Rusty (genoa)",
+    processor=GENOA,
+    sockets_per_node=2,
+    n_nodes_max=432,
+    mem_per_node_gb=1536.0,
+    network=NetworkSpec(topology="fat-tree", latency_us=1.0, bandwidth_gb_s=25.0),
+    mpi_per_node=48,
+    threads_per_mpi=2,
+)
+
+MIYABI = Machine(
+    name="Miyabi",
+    processor=GH200,
+    sockets_per_node=1,
+    n_nodes_max=1_120,
+    mem_per_node_gb=216.0,   # 120 CPU + 96 GPU
+    network=NetworkSpec(topology="fat-tree", latency_us=1.0, bandwidth_gb_s=25.0),
+    mpi_per_node=1,
+    threads_per_mpi=72,
+)

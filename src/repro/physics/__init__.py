@@ -1,0 +1,37 @@
+"""Baryonic subgrid physics of the ASURA model.
+
+The star-by-star resolution of the paper (0.75 M_sun gas particles) means
+stellar feedback is *not* statistical: each star particle is an individual
+star drawn from the IMF, its lifetime is tracked, and massive stars
+(8–40 M_sun) each explode as one core-collapse supernova injecting 1e51 erg
+and metals.  This package provides:
+
+* :mod:`repro.physics.cooling` — radiative cooling/heating (10 K–1e8 K);
+* :mod:`repro.physics.imf` — Kroupa/Salpeter initial mass functions with
+  star-by-star sampling;
+* :mod:`repro.physics.stellar` — stellar lifetimes and SN scheduling;
+* :mod:`repro.physics.star_formation` — conversion of cold dense gas into
+  individual stars;
+* :mod:`repro.physics.feedback` — SN energy and metal injection (the step
+  the surrogate model *replaces* on the main nodes).
+"""
+
+from repro.physics.cooling import CoolingModel
+from repro.physics.imf import KroupaIMF, SalpeterIMF
+from repro.physics.stellar import stellar_lifetime, is_sn_progenitor, SN_MASS_MIN, SN_MASS_MAX
+from repro.physics.star_formation import StarFormationModel, StarFormationEvent
+from repro.physics.feedback import SNFeedback, SNYields
+
+__all__ = [
+    "CoolingModel",
+    "KroupaIMF",
+    "SalpeterIMF",
+    "stellar_lifetime",
+    "is_sn_progenitor",
+    "SN_MASS_MIN",
+    "SN_MASS_MAX",
+    "StarFormationModel",
+    "StarFormationEvent",
+    "SNFeedback",
+    "SNYields",
+]

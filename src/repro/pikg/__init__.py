@@ -1,0 +1,32 @@
+"""PIKG — the Particle-particle Interaction Kernel Generator (Sec. 3.5).
+
+The production PIKG takes a small DSL describing a pairwise interaction and
+emits architecture-specific code (ARM SVE intrinsics, AVX-512, CUDA), with
+automatic AoS<->SoA conversion, loop unrolling/fission, and piecewise
+polynomial approximation (PPA) of kernel functions via Sollya-computed
+minimax polynomials evaluated by SIMD table lookup.
+
+This package reproduces the pipeline with a NumPy backend:
+
+* :mod:`repro.pikg.dsl` — parse kernel descriptions (i-vars, j-vars,
+  accumulators, arithmetic statements) into a typed AST with an operation
+  count (the 27/73/101 numbers of Table 4 are exactly such counts);
+* :mod:`repro.pikg.codegen` — generate and compile a vectorized NumPy
+  kernel (broadcast over i x j tiles, SoA in/out) and a scalar reference
+  kernel for cross-checking;
+* :mod:`repro.pikg.ppa` — a Remez-exchange minimax solver (the Sollya
+  stand-in) and segment-table evaluation of SPH kernel functions.
+"""
+
+from repro.pikg.dsl import KernelSpec, parse_kernel
+from repro.pikg.codegen import generate_numpy_kernel, generate_scalar_kernel
+from repro.pikg.ppa import remez_minimax, PPATable
+
+__all__ = [
+    "KernelSpec",
+    "parse_kernel",
+    "generate_numpy_kernel",
+    "generate_scalar_kernel",
+    "remez_minimax",
+    "PPATable",
+]

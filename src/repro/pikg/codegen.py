@@ -1,0 +1,165 @@
+"""Code generation: DSL -> compiled Python kernels.
+
+Two backends mirror what the production PIKG does for SIMD targets:
+
+* **numpy** — fully vectorized over the (N_i, N_j) interaction tile:
+  i-variables become shape (N_i, 1[, 3]) views, j-variables (1, N_j[, 3]),
+  all statements broadcast, and accumulators reduce over the j axis.  This
+  is the "SoA conversion + vector loop" transformation PIKG performs for
+  SVE/AVX (the NumPy ufunc layer stands in for the SIMD lanes);
+* **scalar** — a plain double loop used as the semantics reference (what
+  the intrinsics must agree with).
+
+Generated source is compiled with :func:`exec` into a function
+``kernel(i_arrays: dict, j_arrays: dict) -> dict`` mapping accumulator
+names to (N_i[, 3]) arrays.  The source string is kept on the function as
+``.source`` for inspection (the paper quotes ~500 generated lines for the
+A64FX gravity kernel; ours is rather shorter).
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+
+import numpy as np
+
+from repro.pikg.dsl import KernelSpec
+
+
+def _expr_to_py(node: ast.AST, backend: str) -> str:
+    if isinstance(node, ast.Expression):
+        return _expr_to_py(node.body, backend)
+    if isinstance(node, ast.Constant):
+        return repr(node.value)
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.UnaryOp):
+        return f"(-{_expr_to_py(node.operand, backend)})"
+    if isinstance(node, ast.BinOp):
+        op = {ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/"}[type(node.op)]
+        return f"({_expr_to_py(node.left, backend)} {op} {_expr_to_py(node.right, backend)})"
+    if isinstance(node, ast.Call):
+        args = ", ".join(_expr_to_py(a, backend) for a in node.args)
+        return f"_{node.func.id}({args})"
+    raise TypeError(type(node).__name__)
+
+
+# Intrinsic implementations per backend.
+_NUMPY_INTRINSICS = {
+    "_sqrt": np.sqrt,
+    "_rsqrt": lambda x: 1.0 / np.sqrt(x),
+    "_min": np.minimum,
+    "_max": np.maximum,
+    "_abs": np.abs,
+    "_dot": lambda a, b: np.sum(a * b, axis=-1, keepdims=True),
+}
+_SCALAR_INTRINSICS = {
+    "_sqrt": math.sqrt,
+    "_rsqrt": lambda x: 1.0 / math.sqrt(x),
+    "_min": min,
+    "_max": max,
+    "_abs": abs,
+    "_dot": lambda a, b: sum(x * y for x, y in zip(a, b)),
+}
+
+
+def generate_numpy_kernel(spec: KernelSpec):
+    """Compile the vectorized kernel; returns the function (with .source)."""
+    lines = [f"def {spec.name}(i_arrays, j_arrays):"]
+    lines.append("    import numpy as np")
+    lines.append(
+        "    # --- SoA unpack onto a uniform (Ni, Nj, components) broadcast"
+    )
+    lines.append("    # layout: scalars carry a singleton component axis.")
+    for name, width in spec.i_vars.items():
+        tail = ", 3" if width == 3 else ", 1"
+        lines.append(
+            f"    {name} = np.asarray(i_arrays['{name}'], dtype=np.float64)"
+            f".reshape(-1, 1{tail})"
+        )
+    for name, width in spec.j_vars.items():
+        tail = ", 3" if width == 3 else ", 1"
+        lines.append(
+            f"    {name} = np.asarray(j_arrays['{name}'], dtype=np.float64)"
+            f".reshape(1, -1{tail})"
+        )
+    lines.append("    _ni = len(next(iter(i_arrays.values())))")
+    lines.append("    _nj = len(next(iter(j_arrays.values())))")
+    for name, width in spec.accumulators.items():
+        shape = "(_ni, 3)" if width == 3 else "(_ni,)"
+        lines.append(f"    {name}_out = np.zeros({shape})")
+    for st in spec.statements:
+        expr = _expr_to_py(st.expr, "numpy")
+        if st.op == "=":
+            lines.append(f"    {st.target} = {expr}")
+        else:
+            sign = "+" if st.op == "+=" else "-"
+            width = spec.accumulators[st.target]
+            if width == 3:
+                lines.append(
+                    f"    {st.target}_out {sign}= np.sum(np.broadcast_to({expr}, "
+                    f"(_ni, _nj, 3)), axis=1)"
+                )
+            else:
+                lines.append(
+                    f"    {st.target}_out {sign}= np.sum(np.broadcast_to({expr}, "
+                    f"(_ni, _nj, 1)), axis=(1, 2))"
+                )
+    lines.append(
+        "    return {"
+        + ", ".join(f"'{n}': {n}_out" for n in spec.accumulators)
+        + "}"
+    )
+    source = "\n".join(lines)
+
+    env: dict = dict(_NUMPY_INTRINSICS)
+    exec(source, env)
+    fn = env[spec.name]
+    fn.source = source
+    fn.spec = spec
+    return fn
+
+
+def generate_scalar_kernel(spec: KernelSpec):
+    """Compile the reference double-loop kernel (slow; for verification)."""
+    lines = [f"def {spec.name}(i_arrays, j_arrays):"]
+    lines.append("    import numpy as np")
+    lines.append("    _ni = len(next(iter(i_arrays.values())))")
+    lines.append("    _nj = len(next(iter(j_arrays.values())))")
+    for name, width in spec.accumulators.items():
+        shape = "(_ni, 3)" if width == 3 else "(_ni,)"
+        lines.append(f"    {name}_out = np.zeros({shape})")
+    lines.append("    for _i in range(_ni):")
+    for name, width in spec.i_vars.items():
+        conv = "np.asarray(i_arrays['%s'][_i], dtype=np.float64)" % name
+        lines.append(f"        {name} = {conv}")
+    lines.append("        for _j in range(_nj):")
+    for name, width in spec.j_vars.items():
+        conv = "np.asarray(j_arrays['%s'][_j], dtype=np.float64)" % name
+        lines.append(f"            {name} = {conv}")
+    for st in spec.statements:
+        expr = _expr_to_py(st.expr, "scalar")
+        if st.op == "=":
+            lines.append(f"            {st.target} = {expr}")
+        else:
+            sign = "+" if st.op == "+=" else "-"
+            lines.append(f"            {st.target}_out[_i] {sign}= {expr}")
+    lines.append(
+        "    return {"
+        + ", ".join(f"'{n}': {n}_out" for n in spec.accumulators)
+        + "}"
+    )
+    source = "\n".join(lines)
+    env: dict = dict(_SCALAR_INTRINSICS)
+    env["_sqrt"] = np.sqrt   # scalar path still sees small arrays for vectors
+    env["_rsqrt"] = lambda x: 1.0 / np.sqrt(x)
+    env["_abs"] = np.abs
+    env["_min"] = np.minimum
+    env["_max"] = np.maximum
+    env["_dot"] = lambda a, b: float(np.sum(np.asarray(a) * np.asarray(b)))
+    exec(source, env)
+    fn = env[spec.name]
+    fn.source = source
+    fn.spec = spec
+    return fn

@@ -1,0 +1,235 @@
+"""The kernel DSL: declarations plus arithmetic statements.
+
+A kernel description looks like::
+
+    # gravity monopole (Eq. 1)
+    i: xi[3], eps2_i
+    j: xj[3], m_j, eps2_j
+    acc: f[3]
+    rij = xi - xj
+    r2 = dot(rij, rij) + eps2_i + eps2_j
+    rinv = rsqrt(r2)
+    rinv3 = rinv * rinv * rinv
+    f -= m_j * rinv3 * rij
+
+Grammar
+-------
+* ``i:`` / ``j:`` / ``acc:`` lines declare per-target variables, per-source
+  variables and accumulators; ``name[3]`` marks a 3-vector.
+* Remaining lines are assignments ``lhs = expr``, ``lhs += expr`` or
+  ``lhs -= expr``; expressions support ``+ - * /``, unary minus, parentheses
+  and the intrinsics ``sqrt, rsqrt, min, max, dot, abs``.
+* ``+=``/``-=`` on an accumulator means "sum over all j".
+
+Expressions are parsed with :mod:`ast` (restricted node whitelist — no
+attribute access, no calls beyond the intrinsics), which both keeps the
+parser small and makes the op-count walk trivial.  The op count uses the
+same convention as the paper's Table 4: one per add/sub/mul, four per
+divide/sqrt/rsqrt (their amortized SIMD cost), three per dot product pair.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: Allowed intrinsic functions and their per-call operation cost
+#: (scalar-equivalent; vector args multiply by component count).
+INTRINSICS = {
+    "sqrt": 4,
+    "rsqrt": 4,
+    "min": 1,
+    "max": 1,
+    "abs": 1,
+    "dot": 5,   # 3 mul + 2 add
+}
+
+_ALLOWED_NODES = (
+    ast.Expression,
+    ast.BinOp,
+    ast.UnaryOp,
+    ast.USub,
+    ast.Add,
+    ast.Sub,
+    ast.Mult,
+    ast.Div,
+    ast.Call,
+    ast.Name,
+    ast.Constant,
+    ast.Load,
+)
+
+_OP_COST = {ast.Add: 1, ast.Sub: 1, ast.Mult: 1, ast.Div: 4}
+
+
+@dataclass
+class Statement:
+    """One assignment: target, op ('=', '+=', '-='), expression AST."""
+
+    target: str
+    op: str
+    expr: ast.Expression
+    source: str
+
+
+@dataclass
+class KernelSpec:
+    """A parsed kernel: declarations, statements, op count."""
+
+    name: str
+    i_vars: dict[str, int] = field(default_factory=dict)   # name -> width
+    j_vars: dict[str, int] = field(default_factory=dict)
+    accumulators: dict[str, int] = field(default_factory=dict)
+    statements: list[Statement] = field(default_factory=list)
+
+    # -------------------------------------------------------------- widths
+    def width_of(self, name: str, local: dict[str, int]) -> int:
+        for table in (self.i_vars, self.j_vars, self.accumulators, local):
+            if name in table:
+                return table[name]
+        raise KeyError(f"unknown variable {name!r} in kernel {self.name!r}")
+
+    def _expr_width(self, node: ast.AST, local: dict[str, int]) -> int:
+        if isinstance(node, ast.Expression):
+            return self._expr_width(node.body, local)
+        if isinstance(node, ast.Constant):
+            return 1
+        if isinstance(node, ast.Name):
+            return self.width_of(node.id, local)
+        if isinstance(node, ast.UnaryOp):
+            return self._expr_width(node.operand, local)
+        if isinstance(node, ast.BinOp):
+            return max(
+                self._expr_width(node.left, local), self._expr_width(node.right, local)
+            )
+        if isinstance(node, ast.Call):
+            if node.func.id == "dot":
+                return 1
+            return max(self._expr_width(a, local) for a in node.args)
+        raise TypeError(f"unsupported node {type(node).__name__}")
+
+    # ------------------------------------------------------------ op count
+    def operation_count(self) -> int:
+        """Scalar-equivalent operations per (i, j) interaction."""
+        local: dict[str, int] = {}
+        total = 0
+        for st in self.statements:
+            w = self._expr_width(st.expr, local)
+            total += self._count_expr(st.expr.body, local)
+            if st.op in ("+=", "-="):
+                total += self.width_of(st.target, local)  # the accumulate add
+            else:
+                local[st.target] = w
+        return total
+
+    def _count_expr(self, node: ast.AST, local: dict[str, int]) -> int:
+        if isinstance(node, (ast.Constant, ast.Name)):
+            return 0
+        if isinstance(node, ast.UnaryOp):
+            return self._count_expr(node.operand, local)
+        if isinstance(node, ast.BinOp):
+            w = max(
+                self._expr_width(node.left, local), self._expr_width(node.right, local)
+            )
+            return (
+                _OP_COST[type(node.op)] * w
+                + self._count_expr(node.left, local)
+                + self._count_expr(node.right, local)
+            )
+        if isinstance(node, ast.Call):
+            fname = node.func.id
+            inner = sum(self._count_expr(a, local) for a in node.args)
+            if fname == "dot":
+                return INTRINSICS["dot"] + inner
+            w = max(self._expr_width(a, local) for a in node.args)
+            return INTRINSICS[fname] * w + inner
+        raise TypeError(f"unsupported node {type(node).__name__}")
+
+
+def _validate(tree: ast.Expression, name: str) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, _ALLOWED_NODES):
+            raise ValueError(
+                f"kernel {name!r}: disallowed syntax {type(node).__name__}"
+            )
+        if isinstance(node, ast.Call):
+            if not isinstance(node.func, ast.Name) or node.func.id not in INTRINSICS:
+                raise ValueError(f"kernel {name!r}: unknown intrinsic")
+
+
+def _parse_decl(line: str) -> dict[str, int]:
+    out: dict[str, int] = {}
+    body = line.split(":", 1)[1]
+    for tok in body.split(","):
+        tok = tok.strip()
+        if not tok:
+            continue
+        if tok.endswith("[3]"):
+            out[tok[:-3].strip()] = 3
+        else:
+            out[tok] = 1
+    return out
+
+
+def parse_kernel(text: str, name: str = "kernel") -> KernelSpec:
+    """Parse a DSL description into a :class:`KernelSpec`."""
+    spec = KernelSpec(name=name)
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("i:"):
+            spec.i_vars.update(_parse_decl(line))
+        elif line.startswith("j:"):
+            spec.j_vars.update(_parse_decl(line))
+        elif line.startswith("acc:"):
+            spec.accumulators.update(_parse_decl(line))
+        else:
+            for op in ("+=", "-=", "="):
+                if op in line:
+                    target, expr_src = line.split(op, 1)
+                    target = target.strip()
+                    tree = ast.parse(expr_src.strip(), mode="eval")
+                    _validate(tree, name)
+                    if op in ("+=", "-=") and target not in spec.accumulators:
+                        raise ValueError(
+                            f"kernel {name!r}: '{op}' target {target!r} is not an accumulator"
+                        )
+                    spec.statements.append(
+                        Statement(target=target, op=op, expr=tree, source=expr_src.strip())
+                    )
+                    break
+            else:
+                raise ValueError(f"kernel {name!r}: cannot parse line {raw!r}")
+    if not spec.statements:
+        raise ValueError(f"kernel {name!r}: no statements")
+    return spec
+
+
+#: The paper's gravity monopole kernel (Eq. 1) in the DSL.
+GRAVITY_DSL = """
+i: xi[3], eps2_i
+j: xj[3], m_j, eps2_j
+acc: f[3]
+rij = xi - xj
+r2 = dot(rij, rij) + eps2_i + eps2_j
+rinv = rsqrt(r2)
+rinv3 = rinv * rinv * rinv
+f -= m_j * rinv3 * rij
+"""
+
+#: SPH density with the Wendland C2 kernel — expressible branch-free in the
+#: DSL because max(1-q, 0) encodes the compact support (the same trick the
+#: production PIKG uses instead of per-lane branches), with
+#: W = sigma/h^3 (1-q)^4 (1+4q), sigma = 21/(2 pi).
+WENDLAND_DENSITY_DSL = """
+i: xi[3], hinv_i
+j: xj[3], m_j
+acc: rho
+rij = xi - xj
+q = sqrt(dot(rij, rij)) * hinv_i
+t = max(1.0 - q, 0.0)
+t2 = t * t
+w = t2 * t2 * (1.0 + 4.0 * q)
+rho += 3.3422538049298023 * hinv_i * hinv_i * hinv_i * m_j * w
+"""

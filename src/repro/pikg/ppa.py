@@ -1,0 +1,158 @@
+"""Piecewise polynomial approximation with Remez minimax fitting (Sec. 3.5).
+
+The production code uses Sollya to compute minimax polynomials on each of
+``m`` subdomains of an SPH kernel function's domain, stores the
+``m * (n+1)`` coefficients in SIMD registers, and evaluates them via a
+table-lookup instruction.  :func:`remez_minimax` is a from-scratch Remez
+exchange solver (the Sollya stand-in) and :class:`PPATable` is the segment
+table with vectorized Horner evaluation (``np.take`` plays the role of the
+SVE/AVX-512 table-lookup instruction; the paper notes AVX2 must fall back
+to gather loads, which its Table 4 hydro numbers suffer for).
+
+Equation (2) of the paper:
+``f_app(x; k) = sum_l a_{k,l} (x - k d)^l`` with ``d`` the segment length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def remez_minimax(
+    f,
+    a: float,
+    b: float,
+    degree: int,
+    n_iter: int = 30,
+    grid: int = 4001,
+) -> tuple[np.ndarray, float]:
+    """Minimax polynomial of given degree for ``f`` on [a, b].
+
+    Classic Remez exchange: solve for coefficients + equioscillation level E
+    on degree+2 reference points, move the references to the extrema of the
+    error, repeat.  Returns (coefficients low->high, max abs error).
+    """
+    if b <= a:
+        raise ValueError("need a < b")
+    xs_dense = np.linspace(a, b, grid)
+    fs_dense = f(xs_dense)
+    # Chebyshev-node initial reference.
+    k = np.arange(degree + 2)
+    ref = 0.5 * (a + b) + 0.5 * (b - a) * np.cos(np.pi * k / (degree + 1))
+    ref = np.sort(ref)
+
+    coeffs = np.zeros(degree + 1)
+    for _ in range(n_iter):
+        # Solve: sum_l c_l x_i^l + (-1)^i E = f(x_i).
+        vand = np.vander(ref, degree + 1, increasing=True)
+        signs = ((-1.0) ** np.arange(degree + 2))[:, None]
+        a_mat = np.hstack([vand, signs])
+        sol = np.linalg.solve(a_mat, f(ref))
+        coeffs = sol[:-1]
+        level = abs(sol[-1])
+
+        err = np.polyval(coeffs[::-1], xs_dense) - fs_dense
+        # Standard Remez termination: the dense error no longer exceeds the
+        # equioscillation level (also catches the exactly-representable
+        # case, where the "error" is pure floating-point noise and the
+        # extrema exchange would feed garbage references to the next solve).
+        if np.max(np.abs(err)) <= level * (1.0 + 1e-9) + 1e-13 * max(
+            1.0, np.max(np.abs(fs_dense))
+        ):
+            break
+        # New references: local extrema of the error (sign-alternating).
+        idx = _alternating_extrema(err, degree + 2)
+        new_ref = xs_dense[idx]
+        if np.allclose(new_ref, ref, rtol=0, atol=(b - a) * 1e-12):
+            ref = new_ref
+            break
+        ref = new_ref
+    err = np.polyval(coeffs[::-1], xs_dense) - fs_dense
+    return coeffs, float(np.max(np.abs(err)))
+
+
+def _alternating_extrema(err: np.ndarray, count: int) -> np.ndarray:
+    """Indices of the ``count`` largest alternating local extrema of err."""
+    n = len(err)
+    cand = [0]
+    for i in range(1, n - 1):
+        if (err[i] - err[i - 1]) * (err[i + 1] - err[i]) <= 0:
+            cand.append(i)
+    cand.append(n - 1)
+    cand = np.array(sorted(set(cand)))
+    # Greedy: walk candidates keeping the largest |err| per sign run.
+    picked: list[int] = []
+    cur_sign = 0.0
+    for i in cand:
+        s = np.sign(err[i])
+        if s == 0:
+            continue
+        if s != cur_sign:
+            picked.append(i)
+            cur_sign = s
+        elif abs(err[i]) > abs(err[picked[-1]]):
+            picked[-1] = i
+    while len(picked) < count:
+        # Degenerate error curve: pad with evenly spaced points.
+        extras = np.linspace(0, n - 1, count).astype(int)
+        picked = sorted(set(picked) | set(extras))[:count]
+    if len(picked) > count:
+        # Keep the largest-magnitude alternating subset.
+        picked = sorted(picked, key=lambda i: -abs(err[i]))[:count]
+        picked = sorted(picked)
+    return np.asarray(picked, dtype=np.int64)
+
+
+@dataclass
+class PPATable:
+    """Segmented minimax approximation of f on [0, x_max].
+
+    ``coeffs[k, l]`` is the coefficient of (x - k d)^l on segment k —
+    exactly Eq. (2) of the paper.
+    """
+
+    coeffs: np.ndarray    # (m, n+1), low -> high order
+    x_max: float
+    max_error: float
+
+    @classmethod
+    def fit(
+        cls, f, x_max: float, n_segments: int = 8, degree: int = 3
+    ) -> "PPATable":
+        """Fit minimax polynomials on each of ``n_segments`` subdomains."""
+        d = x_max / n_segments
+        coeffs = np.zeros((n_segments, degree + 1))
+        worst = 0.0
+        for k in range(n_segments):
+            lo = k * d
+            # Fit in the local coordinate t = x - k d on [0, d].
+            c, err = remez_minimax(lambda t: f(t + lo), 0.0, d, degree)
+            coeffs[k] = c
+            worst = max(worst, err)
+        return cls(coeffs=coeffs, x_max=float(x_max), max_error=worst)
+
+    @property
+    def n_segments(self) -> int:
+        return self.coeffs.shape[0]
+
+    @property
+    def degree(self) -> int:
+        return self.coeffs.shape[1] - 1
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation: table lookup + Horner."""
+        x = np.asarray(x, dtype=np.float64)
+        d = self.x_max / self.n_segments
+        k = np.clip((x / d).astype(np.int64), 0, self.n_segments - 1)
+        t = x - k * d
+        # np.take = the SIMD table-lookup of the coefficients.
+        result = np.take(self.coeffs[:, -1], k)
+        for l in range(self.degree - 1, -1, -1):
+            result = result * t + np.take(self.coeffs[:, l], k)
+        return result
+
+    def flops_per_eval(self) -> int:
+        """2 ops per Horner stage + segment-index arithmetic."""
+        return 2 * self.degree + 3

@@ -1,0 +1,22 @@
+"""Supernova blast-wave physics and star-forming-region turbulence.
+
+Two generators feed the surrogate-model pipeline:
+
+* :mod:`repro.sn.sedov` — the exact Sedov–Taylor self-similar blast wave
+  (similarity ODEs integrated from the strong-shock boundary), used for fast
+  analytic training labels and for validating the SPH blast simulations;
+* :mod:`repro.sn.turbulence` — Gaussian random velocity fields with the
+  P(k) ~ k^-4 spectrum the paper uses to "imitate environments of
+  star-forming regions" (Sec. 3.3), plus the turbulent-box initial
+  conditions for training-data generation.
+"""
+
+from repro.sn.sedov import SedovSolution, sedov_shock_radius
+from repro.sn.turbulence import turbulent_velocity_field, make_turbulent_box
+
+__all__ = [
+    "SedovSolution",
+    "sedov_shock_radius",
+    "turbulent_velocity_field",
+    "make_turbulent_box",
+]

@@ -1,0 +1,35 @@
+"""Smoothed-particle hydrodynamics.
+
+A density–energy SPH formulation with grad-h correction terms, Monaghan
+artificial viscosity with the Balsara switch, and the iterative kernel-size
+solve whose communication pattern the paper profiles in Sec. 5.2.5 ("the
+iterations are usually twice, if we can set the initial guess of the kernel
+size properly").
+
+Neighbor search is a vectorized cell-linked list (:mod:`repro.sph.neighbors`)
+producing flat pair (edge) lists; all SPH sums are then NumPy scatter-adds
+over those edges — the SoA-friendly analogue of PIKG's generated loops.
+"""
+
+from repro.sph.kernels import CubicSpline, WendlandC2, SPHKernel
+from repro.sph.neighbors import NeighborGrid, neighbor_pairs
+from repro.sph.density import compute_density, DensityResult
+from repro.sph.forces import compute_hydro_forces, HydroForceResult
+from repro.sph.eos import pressure, sound_speed_from_density
+from repro.sph.timestep import cfl_timestep, timestep_mass_scaling
+
+__all__ = [
+    "CubicSpline",
+    "WendlandC2",
+    "SPHKernel",
+    "NeighborGrid",
+    "neighbor_pairs",
+    "compute_density",
+    "DensityResult",
+    "compute_hydro_forces",
+    "HydroForceResult",
+    "pressure",
+    "sound_speed_from_density",
+    "cfl_timestep",
+    "timestep_mass_scaling",
+]

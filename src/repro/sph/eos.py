@@ -1,0 +1,18 @@
+"""Ideal-gas equation of state (gamma = 5/3 monatomic)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.constants import GAMMA
+
+
+def pressure(dens: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """P = (gamma - 1) rho u."""
+    return (GAMMA - 1.0) * np.asarray(dens) * np.asarray(u)
+
+
+def sound_speed_from_density(dens: np.ndarray, pres: np.ndarray) -> np.ndarray:
+    """c_s = sqrt(gamma P / rho)."""
+    dens = np.maximum(np.asarray(dens, dtype=np.float64), 1e-300)
+    return np.sqrt(GAMMA * np.asarray(pres) / dens)

@@ -1,0 +1,103 @@
+"""SPH smoothing kernels.
+
+Convention: ``h`` is the *full support radius* — W(r, h) = 0 for r >= h
+(the GADGET convention; some papers call this 2h).  Each kernel provides the
+normalized value, the radial derivative, and the derivative with respect to
+``h`` (needed by the grad-h correction factor Omega).
+
+These are also the functions the PIKG piecewise-polynomial approximation
+(Sec. 3.5) targets: :mod:`repro.pikg.ppa` builds minimax tables for
+``w(q)`` and ``dw(q)`` and the test suite checks the tables against the
+exact forms here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SPHKernel:
+    """Base class: dimensionless profile w(q) with q = r/h in [0, 1].
+
+    3D normalization: W(r, h) = (sigma / h^3) * w(q) with
+    integral of W over the support equal to 1.
+    """
+
+    sigma: float  # 3D normalization constant
+
+    def w(self, q: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def dw(self, q: np.ndarray) -> np.ndarray:
+        """dw/dq."""
+        raise NotImplementedError
+
+    # ---- dimensional forms -------------------------------------------------
+    def value(self, r: np.ndarray, h: np.ndarray) -> np.ndarray:
+        """W(r, h) [1/length^3]."""
+        q = np.minimum(np.asarray(r) / np.asarray(h), 1.0)
+        return self.sigma / np.asarray(h) ** 3 * self.w(q)
+
+    def grad_factor(self, r: np.ndarray, h: np.ndarray) -> np.ndarray:
+        """(1/r) dW/dr, so grad_i W = grad_factor * (r_i - r_j).
+
+        Finite as r -> 0 for kernels with dw ~ O(q) near zero (both kernels
+        here); we clamp r to avoid 0/0.
+        """
+        r = np.asarray(r, dtype=np.float64)
+        h = np.asarray(h, dtype=np.float64)
+        q = np.minimum(r / h, 1.0)
+        rs = np.maximum(r, 1e-12 * np.maximum(h, 1e-300))
+        return self.sigma / h**3 * self.dw(q) / (rs * h)
+
+    def dvalue_dh(self, r: np.ndarray, h: np.ndarray) -> np.ndarray:
+        """dW/dh at fixed r: -(3 w(q) + q dw(q)) * sigma / h^4."""
+        r = np.asarray(r, dtype=np.float64)
+        h = np.asarray(h, dtype=np.float64)
+        q = np.minimum(r / h, 1.0)
+        return -self.sigma / h**4 * (3.0 * self.w(q) + q * self.dw(q))
+
+
+class CubicSpline(SPHKernel):
+    """Monaghan M4 cubic spline (the classic ASURA/GADGET kernel)."""
+
+    sigma = 8.0 / np.pi
+
+    def w(self, q: np.ndarray) -> np.ndarray:
+        q = np.asarray(q, dtype=np.float64)
+        out = np.zeros_like(q)
+        lo = q < 0.5
+        hi = (q >= 0.5) & (q < 1.0)
+        out[lo] = 1.0 - 6.0 * q[lo] ** 2 + 6.0 * q[lo] ** 3
+        out[hi] = 2.0 * (1.0 - q[hi]) ** 3
+        return out
+
+    def dw(self, q: np.ndarray) -> np.ndarray:
+        q = np.asarray(q, dtype=np.float64)
+        out = np.zeros_like(q)
+        lo = q < 0.5
+        hi = (q >= 0.5) & (q < 1.0)
+        out[lo] = -12.0 * q[lo] + 18.0 * q[lo] ** 2
+        out[hi] = -6.0 * (1.0 - q[hi]) ** 2
+        return out
+
+
+class WendlandC2(SPHKernel):
+    """Wendland C2 kernel — stable against the pairing instability at large
+    neighbor numbers, the choice of modern high-resolution SPH codes."""
+
+    sigma = 21.0 / (2.0 * np.pi)
+
+    def w(self, q: np.ndarray) -> np.ndarray:
+        q = np.asarray(q, dtype=np.float64)
+        t = np.maximum(1.0 - q, 0.0)
+        return t**4 * (1.0 + 4.0 * q)
+
+    def dw(self, q: np.ndarray) -> np.ndarray:
+        q = np.asarray(q, dtype=np.float64)
+        t = np.maximum(1.0 - q, 0.0)
+        return -20.0 * q * t**3
+
+
+#: Default kernel used across the library.
+DEFAULT_KERNEL = CubicSpline()

@@ -1,0 +1,45 @@
+"""The supernova surrogate-model pipeline (Sec. 3.3).
+
+End-to-end path, exactly as in the paper:
+
+1. **particle -> voxel** (:mod:`repro.surrogate.voxelize`): gas particles in
+   the (60 pc)^3 box around the SN are mapped onto a regular grid with SPH
+   kernel weights and Shepard normalization — 5 physical fields (density,
+   temperature, v_x, v_y, v_z);
+2. **transform** (:mod:`repro.surrogate.transforms`): logarithms tame the
+   multi-order-of-magnitude dynamic range; each velocity component is split
+   into positive/negative cubes, giving the 8 input channels;
+3. **U-Net inference** (:mod:`repro.ml`): predicts the transformed fields
+   0.1 Myr after the explosion;
+4. **voxel -> particle** (:mod:`repro.surrogate.devoxelize`): Gibbs sampling
+   of the predicted density field recreates exactly as many particles as
+   came in (mass conservation), with velocities/temperatures interpolated
+   from the predicted fields.
+
+:class:`~repro.surrogate.model.SNSurrogate` wires the steps together;
+:mod:`repro.surrogate.training_data` builds training pairs from either the
+exact Sedov solution (fast) or real SPH blast simulations.
+"""
+
+from repro.surrogate.voxelize import voxelize_particles, VoxelGrid
+from repro.surrogate.transforms import FieldTransform
+from repro.surrogate.devoxelize import gibbs_sample_positions, devoxelize_to_particles
+from repro.surrogate.model import SNSurrogate, SedovBlastOracle
+from repro.surrogate.training_data import (
+    SNTrainingDataset,
+    generate_sedov_pair,
+    generate_sph_pair,
+)
+
+__all__ = [
+    "voxelize_particles",
+    "VoxelGrid",
+    "FieldTransform",
+    "gibbs_sample_positions",
+    "devoxelize_to_particles",
+    "SNSurrogate",
+    "SedovBlastOracle",
+    "SNTrainingDataset",
+    "generate_sedov_pair",
+    "generate_sph_pair",
+]

@@ -1,0 +1,129 @@
+"""The end-to-end SN surrogate: particles in, predicted particles out.
+
+:class:`SNSurrogate` is what a pool node runs (Fig. 3): voxelize the
+received (60 pc)^3 region, encode to 8 channels, predict the state 0.1 Myr
+after the explosion, decode, and Gibbs-sample the result back into exactly
+as many particles as came in.
+
+The predictor is pluggable:
+
+* a trained :class:`~repro.ml.serialize.InferenceEngine` / ``UNet3D``
+  (the paper's path), or
+* :class:`SedovBlastOracle` — the exact Sedov–Taylor field update, which is
+  the physics the U-Net learns; it lets the full coupled scheme run and be
+  validated without a lengthy training phase, and it provides the training
+  labels in :mod:`repro.surrogate.training_data`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fdps.particles import ParticleSet
+from repro.sn.sedov import SedovSolution
+from repro.surrogate.devoxelize import devoxelize_to_particles
+from repro.surrogate.transforms import FieldTransform
+from repro.surrogate.voxelize import VoxelGrid, voxelize_particles
+from repro.util.constants import SN_ENERGY, internal_energy_to_temperature
+
+
+@dataclass
+class SedovBlastOracle:
+    """Analytic field-space SN update: ambient fields -> blast fields.
+
+    Inside the shock radius at ``t_after`` the Sedov profile (scaled to the
+    mean ambient density of the input region) replaces density and
+    temperature and adds the radial blast velocity; outside, the input
+    fields pass through untouched.
+    """
+
+    energy: float = SN_ENERGY
+    t_after: float = 0.1  # Myr — the paper's prediction horizon
+    t_floor: float = 10.0
+
+    def __call__(self, grid: VoxelGrid) -> VoxelGrid:
+        rho_in = grid.field("density")
+        rho0 = float(np.mean(rho_in))
+        rho0 = max(rho0, 1e-10)
+        sol = SedovSolution(energy=self.energy, rho0=rho0)
+        r = grid.voxel_radii()
+        dens_b, vrad_b, u_b = sol.evaluate(r.ravel(), self.t_after)
+        dens_b = dens_b.reshape(r.shape)
+        vrad_b = vrad_b.reshape(r.shape)
+        u_b = u_b.reshape(r.shape)
+        inside = r <= sol.shock_radius(self.t_after)
+
+        out = grid.fields.copy()
+        out[0] = np.where(inside, np.maximum(dens_b, 1e-12), rho_in)
+        t_blast = np.maximum(
+            internal_energy_to_temperature(np.maximum(u_b, 1e-12)), self.t_floor
+        )
+        out[1] = np.where(inside, t_blast, grid.field("temperature"))
+        g = grid.voxel_centers_1d()
+        xx, yy, zz = np.meshgrid(g, g, g, indexing="ij")
+        rs = np.maximum(r, 1e-12)
+        for c, comp in enumerate((xx, yy, zz)):
+            out[2 + c] = np.where(
+                inside, grid.fields[2 + c] + vrad_b * comp / rs, grid.fields[2 + c]
+            )
+        return VoxelGrid(fields=out, center=grid.center, side=grid.side)
+
+
+@dataclass
+class SNSurrogate:
+    """Pool-node predictor: region particles -> particles 0.1 Myr later.
+
+    Parameters
+    ----------
+    predictor : a callable (8, n, n, n) -> (5, n, n, n) in *transformed*
+        space (a UNet3D, an InferenceEngine, ...), or None when using
+        ``oracle``.
+    oracle : a field-space callable VoxelGrid -> VoxelGrid (e.g.
+        :class:`SedovBlastOracle`).  Exactly one of predictor/oracle must be
+        set.
+    n_grid / side : the voxelization (paper: 64 and 60 pc).
+    """
+
+    predictor: object | None = None
+    oracle: object | None = None
+    n_grid: int = 64
+    side: float = 60.0
+    transform: FieldTransform = field(default_factory=FieldTransform)
+    gibbs_sweeps: int = 8
+
+    def __post_init__(self) -> None:
+        if (self.predictor is None) == (self.oracle is None):
+            raise ValueError("provide exactly one of predictor or oracle")
+
+    # ------------------------------------------------------------- field path
+    def predict_fields(self, grid: VoxelGrid) -> VoxelGrid:
+        """Field-space prediction (both branches used by the benchmarks)."""
+        if self.oracle is not None:
+            return self.oracle(grid)
+        chans = self.transform.encode(grid.fields)
+        raw = self.predictor(chans)  # type: ignore[operator]
+        fields = self.transform.decode_target(np.asarray(raw))
+        return VoxelGrid(fields=fields, center=grid.center, side=grid.side)
+
+    # ---------------------------------------------------------- particle path
+    def predict_particles(
+        self,
+        region: ParticleSet,
+        center: np.ndarray,
+        rng: np.random.Generator,
+    ) -> ParticleSet:
+        """Full pool-node pipeline on one SN region.
+
+        The returned set has the same particle count, IDs and masses as the
+        input (mass conservation by construction); positions, velocities and
+        internal energies carry the predicted post-SN state.
+        """
+        if len(region) == 0:
+            return region.copy()
+        grid_in = voxelize_particles(region, center, self.side, self.n_grid)
+        grid_out = self.predict_fields(grid_in)
+        return devoxelize_to_particles(
+            grid_out, region, rng, n_sweeps=self.gibbs_sweeps
+        )

@@ -1,0 +1,93 @@
+"""Field transforms: the 8-channel logarithmic encoding (Sec. 3.3).
+
+"A general and crucial problem ... is the dynamical range of physical
+quantities, which spans several orders of magnitude" — so the paper takes
+logarithms, and splits each velocity component into positive/negative cubes
+before taking the log of the absolute value.  Encoding (input to the net):
+
+=====  =================================
+chan   content
+=====  =================================
+0      log10(max(density, rho_floor))
+1      log10(max(temperature, t_floor))
+2,3    log10(|v_x|) for v_x > 0 / v_x < 0 (floor elsewhere)
+4,5    same for v_y
+6,7    same for v_z
+=====  =================================
+
+The *output* of the net stays 5 channels (matching the "5 x 64^3" output of
+the paper's Fig. 3): log density, log temperature, and three sign-preserving
+``asinh``-scaled velocities (asinh behaves like a signed log at large |v|
+and is linear through zero, avoiding the sign-reconstruction ambiguity of a
+pos/neg split on the *prediction* side; the substitution is recorded in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class FieldTransform:
+    """Invertible mapping between physical fields and network channels."""
+
+    rho_floor: float = 1e-8     # M_sun/pc^3
+    t_floor: float = 1.0        # K
+    v_floor: float = 1e-3       # pc/Myr; below this a velocity half is "off"
+    v_scale: float = 10.0       # asinh knee for output velocities [pc/Myr]
+
+    # -------------------------------------------------------------- encoding
+    def encode(self, fields: np.ndarray) -> np.ndarray:
+        """(5, n, n, n) physical fields -> (8, n, n, n) input channels."""
+        rho, temp, vx, vy, vz = fields
+        chans = [
+            np.log10(np.maximum(rho, self.rho_floor)),
+            np.log10(np.maximum(temp, self.t_floor)),
+        ]
+        lf = np.log10(self.v_floor)
+        for v in (vx, vy, vz):
+            pos = np.where(v > self.v_floor, np.log10(np.maximum(v, self.v_floor)), lf)
+            neg = np.where(v < -self.v_floor, np.log10(np.maximum(-v, self.v_floor)), lf)
+            chans.extend([pos, neg])
+        return np.stack(chans)
+
+    def decode_input(self, chans: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`encode` (used by tests and the field oracle)."""
+        rho = 10.0 ** chans[0]
+        temp = 10.0 ** chans[1]
+        out = [rho, temp]
+        lf = np.log10(self.v_floor)
+        for c in range(3):
+            vpos = np.where(chans[2 + 2 * c] > lf, 10.0 ** chans[2 + 2 * c], 0.0)
+            vneg = np.where(chans[3 + 2 * c] > lf, 10.0 ** chans[3 + 2 * c], 0.0)
+            out.append(vpos - vneg)
+        return np.stack(out)
+
+    # -------------------------------------------------------------- targets
+    def encode_target(self, fields: np.ndarray) -> np.ndarray:
+        """(5, n, n, n) physical fields -> (5, n, n, n) training targets."""
+        rho, temp, vx, vy, vz = fields
+        return np.stack(
+            [
+                np.log10(np.maximum(rho, self.rho_floor)),
+                np.log10(np.maximum(temp, self.t_floor)),
+                np.arcsinh(vx / self.v_scale),
+                np.arcsinh(vy / self.v_scale),
+                np.arcsinh(vz / self.v_scale),
+            ]
+        )
+
+    def decode_target(self, target: np.ndarray) -> np.ndarray:
+        """(5, n, n, n) network output -> physical fields."""
+        return np.stack(
+            [
+                10.0 ** target[0],
+                10.0 ** target[1],
+                np.sinh(target[2]) * self.v_scale,
+                np.sinh(target[3]) * self.v_scale,
+                np.sinh(target[4]) * self.v_scale,
+            ]
+        )

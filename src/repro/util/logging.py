@@ -1,0 +1,19 @@
+"""Library logging: one namespaced logger, silent by default.
+
+Examples and benchmarks attach their own handlers; the library itself never
+configures the root logger (standard practice for importable packages).
+"""
+
+from __future__ import annotations
+
+import logging
+
+_BASE = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return the library logger, or a child of it."""
+    logger = logging.getLogger(_BASE if name is None else f"{_BASE}.{name}")
+    if not logging.getLogger(_BASE).handlers:
+        logging.getLogger(_BASE).addHandler(logging.NullHandler())
+    return logger

@@ -1,0 +1,77 @@
+"""Wall-clock timers mirroring the paper's MPI_Wtime instrumentation.
+
+The paper brackets every critical routine with MPI_Barrier/MPI_Wtime and
+reports the slowest rank (Table 3 footnote).  ``TimerRegistry`` reproduces
+that bookkeeping: named accumulating timers, per-step snapshots, and a
+"slowest rank" merge for the simulated-MPI runs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """A single accumulating wall-clock timer."""
+
+    name: str
+    total: float = 0.0
+    count: int = 0
+    _t0: float | None = None
+
+    def start(self) -> None:
+        self._t0 = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._t0 is None:
+            raise RuntimeError(f"timer {self.name!r} stopped before start")
+        dt = time.perf_counter() - self._t0
+        self.total += dt
+        self.count += 1
+        self._t0 = None
+        return dt
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class TimerRegistry:
+    """A named collection of timers with context-manager access."""
+
+    timers: dict[str, Timer] = field(default_factory=dict)
+
+    def get(self, name: str) -> Timer:
+        if name not in self.timers:
+            self.timers[name] = Timer(name)
+        return self.timers[name]
+
+    @contextmanager
+    def measure(self, name: str):
+        t = self.get(name)
+        t.start()
+        try:
+            yield t
+        finally:
+            t.stop()
+
+    def totals(self) -> dict[str, float]:
+        return {k: v.total for k, v in self.timers.items()}
+
+    def reset(self) -> None:
+        for t in self.timers.values():
+            t.total = 0.0
+            t.count = 0
+
+    @staticmethod
+    def slowest(registries: list["TimerRegistry"]) -> dict[str, float]:
+        """Per-item maximum across ranks — the paper's 'slowest MPI process'."""
+        merged: dict[str, float] = {}
+        for reg in registries:
+            for name, total in reg.totals().items():
+                merged[name] = max(merged.get(name, 0.0), total)
+        return merged

@@ -1,0 +1,178 @@
+"""Analysis helpers: maps, PDFs, SFR, conservation audits."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.conservation import ConservationAudit
+from repro.analysis.maps import column_density_map, disk_thickness, surface_density_profile
+from repro.analysis.pdfs import density_pdf, pdf_distance, phase_diagram, temperature_pdf
+from repro.analysis.sfr import mass_loading_factor, outflow_rate, star_formation_history
+from repro.fdps.particles import ParticleSet, ParticleType
+from repro.ic.galaxy import make_mw_mini
+from repro.util.constants import temperature_to_internal_energy
+
+
+@pytest.fixture(scope="module")
+def galaxy():
+    return make_mw_mini(n_total=4000, seed=9)
+
+
+# ------------------------------------------------------------------- maps
+def test_column_density_conserves_mass(galaxy):
+    extent = 1.0e5
+    grid = column_density_map(galaxy, "xy", extent=extent, n_pix=32, species=None)
+    pix = 2 * extent / 32
+    inside = np.all(np.abs(galaxy.pos[:, :2]) < extent, axis=1)
+    assert grid.sum() * pix**2 == pytest.approx(galaxy.mass[inside].sum(), rel=1e-9)
+
+
+def test_face_on_map_centrally_peaked(galaxy):
+    grid = column_density_map(galaxy, "xy", extent=5000.0, n_pix=16)
+    center = grid[6:10, 6:10].mean()
+    corner = np.concatenate([grid[0, :2], grid[-1, -2:]]).mean()
+    assert center > 3.0 * corner
+
+
+def test_edge_on_map_thinner_than_face_on(galaxy):
+    edge = column_density_map(galaxy, "xz", extent=5000.0, n_pix=32)
+    # Mass-weighted second moments of the edge-on map: the vertical (z)
+    # spread must be well below the in-plane (x) spread — Fig. 5's thin
+    # edge-on stripe.
+    coords = np.arange(32) - 15.5
+    wx = edge.sum(axis=1)
+    wz = edge.sum(axis=0)
+    rms_x = np.sqrt(np.sum(wx * coords**2) / wx.sum())
+    rms_z = np.sqrt(np.sum(wz * coords**2) / wz.sum())
+    assert rms_z < 0.6 * rms_x
+
+
+def test_bad_plane_rejected(galaxy):
+    with pytest.raises(ValueError):
+        column_density_map(galaxy, "qq")
+
+
+def test_surface_density_declines(galaxy):
+    r, sigma = surface_density_profile(galaxy, n_bins=8, r_max=8000.0)
+    assert sigma[0] > sigma[-1]
+
+
+def test_disk_thickness(galaxy):
+    hz = disk_thickness(galaxy, ParticleType.GAS)
+    assert 0 < hz < 2000.0
+
+
+# -------------------------------------------------------------------- PDFs
+def _gas_box(temps, denss):
+    n = len(temps)
+    ps = ParticleSet.empty(n)
+    ps.ptype[:] = int(ParticleType.GAS)
+    ps.mass[:] = 1.0
+    ps.u[:] = temperature_to_internal_energy(np.asarray(temps))
+    ps.dens[:] = denss
+    return ps
+
+
+def test_temperature_pdf_peaks_at_input():
+    ps = _gas_box(np.full(500, 1e4), np.ones(500))
+    centers, pdf = temperature_pdf(ps, bins=18)
+    assert centers[np.argmax(pdf)] == pytest.approx(4.0, abs=0.5)
+
+
+def test_density_pdf_normalized():
+    rng = np.random.default_rng(0)
+    ps = _gas_box(np.full(1000, 100.0), 10 ** rng.normal(0, 1, 1000))
+    centers, pdf = density_pdf(ps, bins=24)
+    dx = centers[1] - centers[0]
+    assert np.sum(pdf) * dx == pytest.approx(1.0, rel=1e-6)
+
+
+def test_pdf_distance_zero_for_identical():
+    ps = _gas_box(np.full(300, 1e3), np.ones(300))
+    a = temperature_pdf(ps, bins=16)
+    assert pdf_distance(a, a) == 0.0
+
+
+def test_pdf_distance_positive_for_different():
+    a = temperature_pdf(_gas_box(np.full(300, 1e3), np.ones(300)), bins=16)
+    b = temperature_pdf(_gas_box(np.full(300, 1e6), np.ones(300)), bins=16)
+    assert pdf_distance(a, b) > 0.5
+
+
+def test_pdf_distance_requires_same_bins():
+    a = temperature_pdf(_gas_box([1e3] * 10, [1.0] * 10), bins=8)
+    b = temperature_pdf(_gas_box([1e3] * 10, [1.0] * 10), bins=16)
+    with pytest.raises(ValueError):
+        pdf_distance(a, b)
+
+
+def test_phase_diagram_shape():
+    ps = _gas_box(np.full(200, 1e4), np.ones(200))
+    rho_e, t_e, h = phase_diagram(ps, n_bins=10)
+    assert h.shape == (10, 10)
+    assert h.sum() == pytest.approx(200.0)
+
+
+# --------------------------------------------------------------------- SFR
+def test_star_formation_history():
+    ps = ParticleSet.empty(10)
+    ps.ptype[:] = int(ParticleType.STAR)
+    ps.mass[:] = 2.0
+    ps.tform[:5] = 9.5   # five stars formed recently
+    ps.tform[5:] = np.inf  # IC stars: excluded
+    t, sfr = star_formation_history(ps, t_now=10.0, bin_width=1.0, n_bins=5)
+    assert sfr[-1] == pytest.approx(10.0)  # 5 stars x 2 M_sun / 1 Myr
+    assert np.all(sfr[:-1] == 0.0)
+
+
+def test_outflow_rate_counts_outgoing_only():
+    ps = ParticleSet.empty(4)
+    ps.ptype[:] = int(ParticleType.GAS)
+    ps.mass[:] = 1.0
+    ps.pos[:, 2] = [1000.0, 1000.0, -1000.0, 1000.0]
+    ps.vel[:, 2] = [50.0, -50.0, -50.0, 0.0]  # out, in, out (below), still
+    rate = outflow_rate(ps, z_plane=1000.0, dz=200.0)
+    assert rate == pytest.approx((50.0 + 50.0) / 200.0)
+
+
+def test_mass_loading_factor():
+    ps = ParticleSet.empty(1)
+    ps.ptype[:] = int(ParticleType.GAS)
+    ps.mass[:] = 1.0
+    ps.pos[0, 2] = 1000.0
+    ps.vel[0, 2] = 100.0
+    eta = mass_loading_factor(ps, sfr=0.5)
+    assert eta == pytest.approx((100.0 / 200.0) / 0.5)
+    assert mass_loading_factor(ps, sfr=0.0) == np.inf
+
+
+# ------------------------------------------------------------- conservation
+def test_audit_mass_and_momentum(plummer_ps):
+    audit = ConservationAudit()
+    audit.record(plummer_ps, 0.0)
+    moved = plummer_ps.copy()
+    moved.pos += 1.0
+    audit.record(moved, 1.0)
+    assert audit.mass_drift() == 0.0
+    assert audit.momentum_drift() == 0.0
+    assert audit.energy_change() == 0.0
+
+
+def test_audit_detects_mass_loss(plummer_ps):
+    audit = ConservationAudit()
+    audit.record(plummer_ps, 0.0)
+    audit.record(plummer_ps.select(np.arange(100)), 1.0)
+    assert audit.mass_drift() > 0.5
+
+
+def test_audit_energy_budget(uniform_gas_ps):
+    from repro.physics.feedback import SNFeedback
+    from repro.util.constants import SN_ENERGY
+
+    audit = ConservationAudit()
+    ps = uniform_gas_ps.copy()
+    audit.record(ps, 0.0)
+    SNFeedback().inject(ps, np.zeros(3))
+    audit.record(ps, 1.0)
+    assert audit.energy_change() == pytest.approx(SN_ENERGY, rel=1e-9)
+    assert audit.injected_energy_accounted(n_sn=1, energy_per_sn=SN_ENERGY, tolerance=0.01)
+    assert not audit.injected_energy_accounted(n_sn=0, energy_per_sn=SN_ENERGY, tolerance=0.5)

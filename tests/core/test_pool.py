@@ -1,0 +1,105 @@
+"""PoolManager: dispatch/collect protocol, latency, overflow handling."""
+
+import numpy as np
+import pytest
+
+from repro.core.pool import PoolManager
+from repro.fdps.comm import SimComm
+from repro.fdps.particles import ParticleSet, ParticleType
+from repro.surrogate.model import SedovBlastOracle, SNSurrogate
+
+
+def _region(n=50, seed=0):
+    rng = np.random.default_rng(seed)
+    ps = ParticleSet.from_arrays(
+        pos=rng.uniform(-25, 25, (n, 3)),
+        mass=np.full(n, 1.0),
+        pid=np.arange(n) + 1000 * seed,
+        ptype=np.full(n, int(ParticleType.GAS)),
+    )
+    ps.u[:] = 25.0
+    ps.h[:] = 8.0
+    return ps
+
+
+@pytest.fixture
+def manager():
+    surr = SNSurrogate(oracle=SedovBlastOracle(t_after=0.1), n_grid=8, side=60.0)
+    return PoolManager(surrogate=surr, n_pool=4, latency_steps=5, seed=0)
+
+
+def test_dispatch_assigns_round_robin(manager):
+    ranks = []
+    for k in range(4):
+        e = manager.dispatch(_region(seed=k), np.zeros(3), star_pid=k, time=0.0, step=0)
+        ranks.append(e.pool_rank)
+    assert sorted(ranks) == [0, 1, 2, 3]
+    assert manager.n_in_flight == 4
+
+
+def test_collect_respects_latency(manager):
+    manager.dispatch(_region(), np.zeros(3), star_pid=1, time=0.0, step=0)
+    for step in range(5):
+        assert manager.collect(step) == []
+    results = manager.collect(5)
+    assert len(results) == 1
+    event, predicted = results[0]
+    assert event.returned
+    assert event.in_flight_steps == 5
+    assert len(predicted) == 50
+
+
+def test_prediction_preserves_ids_and_mass(manager):
+    region = _region(seed=3)
+    manager.dispatch(region, np.zeros(3), star_pid=2, time=0.0, step=0)
+    [(event, predicted)] = manager.collect(10)
+    assert np.array_equal(np.sort(predicted.pid), np.sort(region.pid))
+    assert predicted.total_mass() == pytest.approx(region.total_mass())
+
+
+def test_pool_node_frees_after_return(manager):
+    manager.dispatch(_region(seed=0), np.zeros(3), star_pid=1, time=0.0, step=0)
+    assert manager.free_pool_rank(0) == 1  # rank 0 busy
+    manager.collect(5)
+    assert manager.free_pool_rank(5) in (0, 1, 2, 3)
+    # After latency elapsed, rank 0 is free again.
+    e = manager.dispatch(_region(seed=1), np.zeros(3), star_pid=2, time=0.0, step=6)
+    assert e.pool_rank is not None
+
+
+def test_overflow_counted():
+    surr = SNSurrogate(oracle=SedovBlastOracle(), n_grid=8, side=60.0)
+    m = PoolManager(surrogate=surr, n_pool=2, latency_steps=10, seed=0)
+    for k in range(3):  # 3 SNe, 2 pool nodes, all in one step
+        m.dispatch(_region(seed=k), np.zeros(3), star_pid=k, time=0.0, step=0)
+    assert m.n_overflow == 1
+
+
+def test_paper_sizing_no_overflow_for_one_sn_per_step():
+    # n_pool = latency = 50: one SN per step never overflows (Sec. 3.2).
+    surr = SNSurrogate(oracle=SedovBlastOracle(), n_grid=8, side=60.0)
+    m = PoolManager(surrogate=surr, n_pool=50, latency_steps=50, seed=0)
+    for step in range(120):
+        m.dispatch(_region(seed=step % 5), np.zeros(3), star_pid=step, time=0.0, step=step)
+        m.collect(step)
+    assert m.n_overflow == 0
+
+
+def test_comm_traffic_counted():
+    world = SimComm(1 + 2)  # 1 main + 2 pool
+    surr = SNSurrogate(oracle=SedovBlastOracle(), n_grid=8, side=60.0)
+    m = PoolManager(surrogate=surr, n_pool=2, latency_steps=1, seed=0, comm=world)
+    m.dispatch(_region(), np.zeros(3), star_pid=1, time=0.0, step=0)
+    m.collect(1)
+    assert world.stats["p2p"].n_messages == 2  # region out, prediction back
+    assert world.stats["p2p"].bytes_total > 0
+
+
+def test_summary(manager):
+    manager.dispatch(_region(), np.zeros(3), star_pid=1, time=0.0, step=0)
+    manager.collect(5)
+    s = manager.summary()
+    assert s["n_events"] == 1
+    assert s["n_returned"] == 1
+    assert s["n_in_flight"] == 0
+    assert s["total_region_particles"] == 50

@@ -1,0 +1,95 @@
+"""Literature registries: Table 1, Table 2, Figure 2 series."""
+
+import numpy as np
+import pytest
+
+from repro.data.runs import RUN_TABLE, run_by_name
+from repro.data.sota import (
+    ONE_BILLION,
+    SOTA_RUNS,
+    THIS_WORK,
+    breaks_billion_barrier,
+    figure2_series,
+)
+
+
+def test_table1_row_count():
+    assert len(SOTA_RUNS) == 7  # the seven prior-art rows of Table 1
+
+
+def test_no_prior_work_breaks_the_barrier():
+    for run in SOTA_RUNS:
+        assert not breaks_billion_barrier(run), run.paper
+
+
+def test_this_work_breaks_the_barrier():
+    assert breaks_billion_barrier(THIS_WORK)
+    assert THIS_WORK.n_tot == pytest.approx(3.0e11)
+    # ~500x more particles than the largest prior run (Sec. 6: "~500x").
+    largest_prior = max(r.n_tot for r in SOTA_RUNS)
+    assert THIS_WORK.n_tot / largest_prior == pytest.approx(469, rel=0.1)
+
+
+def test_this_work_star_by_star_resolution():
+    assert THIS_WORK.m_gas == 0.75
+    assert THIS_WORK.m_star == 0.75
+    # Prior MW-mass runs sit at >= 400 M_sun (Richings 2022).
+    mw_mass_prior = [r for r in SOTA_RUNS if r.m_tot >= 1e12]
+    assert all(r.m_gas >= 400.0 for r in mw_mass_prior)
+
+
+def test_dm_mass_derived():
+    richings = next(r for r in SOTA_RUNS if "Richings" in r.paper)
+    # Paper text: DM resolution ~1e4 M_sun for Richings et al.
+    assert 1e3 < richings.m_dm < 1e4
+
+
+def test_figure2_series_structure():
+    fig = figure2_series()
+    for panel in ("dm", "gas"):
+        assert len(fig[panel]["points"]) >= 6
+        name, m_tot, m_part = fig[panel]["this_work"]
+        assert "This work" in name
+        assert m_part <= 7.0  # DM 6 M_sun (Table 2), gas 0.75 M_sun
+        assert "one_billion" in fig[panel]["lines"]
+        xs, ys = fig[panel]["lines"]["one_billion"]
+        assert np.allclose(xs / ys, ONE_BILLION)
+
+
+def test_this_work_below_barrier_line_in_fig2():
+    # Fig. 2: "This Work" sits below the one-billion line (more particles).
+    fig = figure2_series()
+    _, m_tot, m_part = fig["gas"]["this_work"]
+    assert m_tot / m_part > ONE_BILLION
+
+
+# --------------------------------------------------------------------- Table 2
+def test_table2_rows():
+    assert len(RUN_TABLE) == 8
+    weak = run_by_name("weakMW2M")
+    assert weak.nodes_max == 148896
+    assert weak.n_total == pytest.approx(3.01e11, rel=0.01)
+    assert weak.m_tot == pytest.approx(1.2e12)
+
+
+def test_weak_run_is_2m_per_node():
+    weak = run_by_name("weakMW2M")
+    assert weak.n_total / weak.nodes_max == pytest.approx(2.0e6, rel=0.02)
+
+
+def test_strong_runs_fixed_totals():
+    s = run_by_name("strongMWs")
+    assert s.kind == "strong"
+    assert s.n_total == pytest.approx(4.75e10, rel=0.01)
+    m = run_by_name("strongMWm")
+    assert m.n_total == pytest.approx(5.17e9, rel=0.02)
+
+
+def test_gas_fractions_sensible():
+    for run in RUN_TABLE:
+        assert 0.05 < run.gas_fraction < 0.75, run.name
+
+
+def test_unknown_run_raises():
+    with pytest.raises(KeyError):
+        run_by_name("nope")

@@ -1,0 +1,106 @@
+"""Multisection domain decomposition: balance, coverage, Fig. 4 geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fdps.domain import DomainDecomposition, process_grid
+from tests.conftest import plummer_positions
+
+
+def test_assignment_covers_all_points(rng):
+    pos = rng.normal(0, 100, (2000, 3))
+    dd = DomainDecomposition.fit(pos, (2, 3, 2), sample=None)
+    ranks = dd.assign(pos)
+    assert ranks.min() >= 0
+    assert ranks.max() < dd.n_domains
+
+
+def test_balance_equal_weights(rng):
+    pos = rng.normal(0, 100, (4000, 3))
+    dd = DomainDecomposition.fit(pos, (2, 2, 2), sample=None)
+    counts = np.bincount(dd.assign(pos), minlength=8)
+    assert counts.max() <= 1.3 * counts.min()
+
+
+def test_balance_weighted(rng):
+    # Put all the work in x > 0: the x cut should move right of the median.
+    pos = rng.uniform(-1, 1, (4000, 3))
+    w = np.where(pos[:, 0] > 0, 10.0, 1.0)
+    dd = DomainDecomposition.fit(pos, (2, 1, 1), weights=w, sample=None)
+    cut = dd.bounds[1, 0, 0, 0, 0]
+    assert cut > 0.2
+
+
+def test_domains_tile_space(rng):
+    pos = rng.normal(0, 50, (3000, 3))
+    dd = DomainDecomposition.fit(pos, (2, 2, 2), sample=None)
+    # Any point in space maps to exactly one domain whose box contains it.
+    probes = rng.uniform(-200, 200, (500, 3))
+    ranks = dd.assign(probes)
+    for p, r in zip(probes, ranks):
+        lo, hi = dd.domain_box(int(r))
+        assert np.all(p >= lo) and np.all(p < hi)
+
+
+def test_rank_ijk_roundtrip():
+    dd = DomainDecomposition.fit(np.random.default_rng(0).normal(size=(100, 3)), (3, 2, 4), sample=None)
+    for rank in range(dd.n_domains):
+        assert dd.rank_of(dd.ijk_of(rank)) == rank
+
+
+def test_concentrated_distribution_makes_thin_central_domains():
+    # The Fig. 4 phenomenon: central domains of a centrally concentrated
+    # galaxy become much smaller than outer ones.
+    pos = plummer_positions(20000, a=10.0, rng=np.random.default_rng(5))
+    dd = DomainDecomposition.fit(pos, (4, 4, 1), sample=None)
+    lo, hi = pos.min(axis=0), pos.max(axis=0)
+    widths = []
+    for rank in range(dd.n_domains):
+        blo, bhi = dd.finite_domain_box(rank, lo, hi)
+        widths.append(bhi[0] - blo[0])
+    widths = np.array(widths)
+    assert widths.max() > 5.0 * widths.min()
+
+
+def test_slice_y0_returns_rectangles():
+    pos = plummer_positions(5000, a=20.0, rng=np.random.default_rng(6))
+    dd = DomainDecomposition.fit(pos, (3, 3, 3), sample=None)
+    lo, hi = pos.min(axis=0), pos.max(axis=0)
+    rects = dd.slice_y0(lo, hi)
+    assert len(rects) >= 3  # at least one y-column crosses y=0 per x slab
+    for r in rects:
+        assert r[0] <= r[1] and r[2] <= r[3]
+
+
+def test_surface_areas_positive():
+    pos = np.random.default_rng(7).normal(0, 10, (1000, 3))
+    dd = DomainDecomposition.fit(pos, (2, 2, 2), sample=None)
+    lo, hi = pos.min(axis=0), pos.max(axis=0)
+    areas = dd.surface_areas(lo, hi)
+    assert np.all(areas > 0)
+
+
+def test_sampling_approximates_full_decomposition(rng):
+    pos = rng.normal(0, 100, (20000, 3))
+    full = DomainDecomposition.fit(pos, (2, 2, 1), sample=None)
+    samp = DomainDecomposition.fit(pos, (2, 2, 1), sample=2000, rng=rng)
+    counts = np.bincount(samp.assign(pos), minlength=4)
+    assert counts.max() <= 1.5 * counts.min()
+    # The x cut from sampling should be near the full-data cut.
+    assert abs(full.bounds[1, 0, 0, 0, 0] - samp.bounds[1, 0, 0, 0, 0]) < 20.0
+
+
+@given(st.integers(1, 64))
+@settings(max_examples=30, deadline=None)
+def test_process_grid_factorizes(n):
+    px, py, pz = process_grid(n)
+    assert px * py * pz == n
+    assert px >= py >= pz >= 1
+
+
+def test_process_grid_prefers_cubes():
+    assert process_grid(8) == (2, 2, 2)
+    assert process_grid(27) == (3, 3, 3)
+    assert process_grid(64) == (4, 4, 4)

@@ -1,0 +1,104 @@
+"""Snapshot I/O round trips and forward compatibility."""
+
+import numpy as np
+import pytest
+
+from repro.core.integrator import IntegratorConfig
+from repro.core.simulation import GalaxySimulation
+from repro.fdps.io import (
+    load_simulation_state,
+    load_snapshot,
+    save_simulation,
+    save_snapshot,
+)
+from repro.fdps.particles import ParticleSet
+
+
+def test_roundtrip_preserves_all_fields(plummer_ps, tmp_path):
+    p = tmp_path / "snap.npz"
+    save_snapshot(plummer_ps, p, time=3.5, step=17)
+    back, header = load_snapshot(p)
+    assert header["time"] == 3.5
+    assert header["step"] == 17
+    assert len(back) == len(plummer_ps)
+    for name, arr in plummer_ps.data.items():
+        assert np.array_equal(back.data[name], arr), name
+
+
+def test_uncompressed_roundtrip(plummer_ps, tmp_path):
+    p = tmp_path / "snap_raw.npz"
+    save_snapshot(plummer_ps, p, compressed=False)
+    back, _ = load_snapshot(p)
+    assert np.array_equal(back.pos, plummer_ps.pos)
+
+
+def test_missing_field_gets_default(plummer_ps, tmp_path):
+    # Simulate an old snapshot without the 'tsn' column.
+    p = tmp_path / "old.npz"
+    save_snapshot(plummer_ps, p)
+    import numpy as np_mod
+
+    with np_mod.load(p) as data:
+        payload = {k: data[k] for k in data.files if k != "field/tsn"}
+    np_mod.savez(tmp_path / "old2.npz", **payload)
+    back, _ = load_snapshot(tmp_path / "old2.npz")
+    assert np.all(np.isinf(back.tsn))  # the registry default
+
+
+def test_unknown_field_is_skipped(plummer_ps, tmp_path):
+    p = tmp_path / "future.npz"
+    save_snapshot(plummer_ps, p)
+    import numpy as np_mod
+
+    with np_mod.load(p) as data:
+        payload = {k: data[k] for k in data.files}
+    payload["field/quantum_flux"] = np.ones(len(plummer_ps))
+    np_mod.savez(tmp_path / "future2.npz", **payload)
+    back, _ = load_snapshot(tmp_path / "future2.npz")
+    assert len(back) == len(plummer_ps)
+
+
+def test_corrupt_length_rejected(plummer_ps, tmp_path):
+    p = tmp_path / "bad.npz"
+    save_snapshot(plummer_ps, p)
+    import numpy as np_mod
+
+    with np_mod.load(p) as data:
+        payload = {k: data[k] for k in data.files}
+    payload["field/mass"] = np.ones(3)  # wrong row count
+    np_mod.savez(tmp_path / "bad2.npz", **payload)
+    with pytest.raises(ValueError):
+        load_snapshot(tmp_path / "bad2.npz")
+
+
+def test_simulation_checkpoint(tmp_path):
+    from repro.sn.turbulence import make_turbulent_box
+
+    box = make_turbulent_box(n_per_side=6, side=20.0, seed=1)
+    cfg = IntegratorConfig(enable_cooling=False, enable_star_formation=False,
+                           self_gravity=False)
+    sim = GalaxySimulation(box, dt=1e-3, n_pool=3, config=cfg, surrogate_grid=8)
+    sim.run(3)
+    p = tmp_path / "ckpt.npz"
+    save_simulation(sim, p)
+    ps, header = load_simulation_state(p)
+    assert header["step"] == 3
+    assert header["time"] == pytest.approx(3e-3)
+    assert header["extra"]["dt"] == pytest.approx(1e-3)
+    assert np.array_equal(np.sort(ps.pid), np.sort(sim.ps.pid))
+
+    # Restarting from the checkpoint continues cleanly.
+    sim2 = GalaxySimulation(ps, dt=header["extra"]["dt"], n_pool=3,
+                            config=cfg, surrogate_grid=8)
+    sim2.integrator.time = header["time"]
+    sim2.integrator.step_count = header["step"]
+    sim2.run(2)
+    assert sim2.step_count == 5
+
+
+def test_empty_set_roundtrip(tmp_path):
+    p = tmp_path / "empty.npz"
+    save_snapshot(ParticleSet.empty(0), p)
+    back, header = load_snapshot(p)
+    assert len(back) == 0
+    assert header["n_particles"] == 0

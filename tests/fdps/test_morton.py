@@ -1,0 +1,80 @@
+"""Morton key encode/decode invariants, including hypothesis round-trips."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fdps.morton import (
+    MORTON_BITS,
+    morton_decode,
+    morton_encode,
+    morton_keys,
+    quantize,
+)
+
+
+def test_encode_decode_roundtrip_small():
+    ix = np.array([0, 1, 2, 5, 100, (1 << MORTON_BITS) - 1], dtype=np.int64)
+    iy = np.array([0, 3, 7, 2, 50, 0], dtype=np.int64)
+    iz = np.array([0, 2, 1, 9, 25, (1 << MORTON_BITS) - 1], dtype=np.int64)
+    dx, dy, dz = morton_decode(morton_encode(ix, iy, iz))
+    assert np.array_equal(dx, ix.astype(np.uint64))
+    assert np.array_equal(dy, iy.astype(np.uint64))
+    assert np.array_equal(dz, iz.astype(np.uint64))
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, (1 << MORTON_BITS) - 1),
+            st.integers(0, (1 << MORTON_BITS) - 1),
+            st.integers(0, (1 << MORTON_BITS) - 1),
+        ),
+        min_size=1,
+        max_size=64,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_encode_decode_roundtrip_property(coords):
+    arr = np.asarray(coords, dtype=np.int64)
+    dx, dy, dz = morton_decode(morton_encode(arr[:, 0], arr[:, 1], arr[:, 2]))
+    assert np.array_equal(dx, arr[:, 0].astype(np.uint64))
+    assert np.array_equal(dy, arr[:, 1].astype(np.uint64))
+    assert np.array_equal(dz, arr[:, 2].astype(np.uint64))
+
+
+def test_keys_are_unique_for_distinct_cells():
+    ix, iy, iz = np.meshgrid(np.arange(8), np.arange(8), np.arange(8), indexing="ij")
+    keys = morton_encode(ix.ravel(), iy.ravel(), iz.ravel())
+    assert len(np.unique(keys)) == 512
+
+
+def test_locality_first_octant():
+    # All points in the low half of the cube share a zero top bit-triple.
+    lo, hi = np.zeros(3), np.ones(3)
+    pos = np.random.default_rng(0).uniform(0.0, 0.499, (100, 3))
+    keys = morton_keys(pos, lo, hi)
+    top = keys >> np.uint64(3 * (MORTON_BITS - 1))
+    assert np.all(top == 0)
+
+
+def test_quantize_clips_to_box():
+    lo, hi = np.zeros(3), np.ones(3)
+    pos = np.array([[-5.0, 0.5, 2.0]])
+    ix, iy, iz = quantize(pos, lo, hi)
+    assert ix[0] == 0
+    assert iz[0] == (1 << MORTON_BITS) - 1
+
+
+def test_sorted_keys_group_spatially():
+    # After sorting by key, adjacent particles should be spatially closer on
+    # average than random pairs (the property interaction groups rely on).
+    rng = np.random.default_rng(1)
+    pos = rng.uniform(0, 1, (2000, 3))
+    keys = morton_keys(pos, np.zeros(3), np.ones(3))
+    order = np.argsort(keys)
+    sorted_pos = pos[order]
+    adjacent = np.linalg.norm(np.diff(sorted_pos, axis=0), axis=1).mean()
+    shuffled = pos[rng.permutation(2000)]
+    random_pairs = np.linalg.norm(np.diff(shuffled, axis=0), axis=1).mean()
+    assert adjacent < 0.5 * random_pairs

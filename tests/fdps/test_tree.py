@@ -1,0 +1,137 @@
+"""Octree structural invariants and walk correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fdps.tree import Octree
+from tests.conftest import plummer_positions
+
+
+def _build(n=300, leaf_size=8, seed=0):
+    rng = np.random.default_rng(seed)
+    pos = plummer_positions(n, a=30.0, rng=rng)
+    mass = rng.uniform(0.5, 2.0, n)
+    return Octree.build(pos, mass, leaf_size=leaf_size), pos, mass
+
+
+def test_root_covers_everything():
+    tree, pos, mass = _build()
+    assert tree.node_count[0] == len(pos)
+    assert tree.node_mass[0] == pytest.approx(mass.sum())
+    com = (mass[:, None] * pos).sum(axis=0) / mass.sum()
+    assert np.allclose(tree.node_com[0], com)
+
+
+def test_children_partition_parent():
+    tree, _, _ = _build()
+    for node in range(tree.n_nodes):
+        if tree.node_is_leaf[node]:
+            continue
+        kids = tree.node_children[node]
+        kids = kids[kids >= 0]
+        assert kids.size >= 1
+        assert tree.node_count[kids].sum() == tree.node_count[node]
+        assert tree.node_mass[kids].sum() == pytest.approx(tree.node_mass[node])
+
+
+def test_leaves_respect_leaf_size():
+    tree, _, _ = _build(leaf_size=8)
+    leaves = np.flatnonzero(tree.node_is_leaf)
+    assert np.all(tree.node_count[leaves] <= 8)
+
+
+def test_leaves_partition_particles():
+    tree, pos, _ = _build()
+    leaves = np.flatnonzero(tree.node_is_leaf)
+    covered = np.zeros(len(pos), dtype=int)
+    for leaf in leaves:
+        s, c = tree.node_first[leaf], tree.node_count[leaf]
+        covered[s : s + c] += 1
+    assert np.all(covered == 1)
+
+
+def test_particles_inside_their_nodes():
+    tree, _, _ = _build()
+    for node in range(tree.n_nodes):
+        s, c = tree.node_first[node], tree.node_count[node]
+        p = tree.sorted_pos[s : s + c]
+        lo = tree.node_center[node] - 0.5 * tree.node_side[node] * (1 + 1e-9)
+        hi = tree.node_center[node] + 0.5 * tree.node_side[node] * (1 + 1e-9)
+        assert np.all(p >= lo - 1e-9) and np.all(p <= hi + 1e-9)
+
+
+def test_walk_far_box_accepts_root_or_few_nodes():
+    tree, pos, mass = _build()
+    far_lo = np.array([1e6, 1e6, 1e6])
+    far_hi = far_lo + 1.0
+    nodes, parts = tree.walk_box(far_lo, far_hi, theta=0.5)
+    assert parts.size == 0
+    # All mass should be represented by the accepted monopoles.
+    assert tree.node_mass[nodes].sum() == pytest.approx(mass.sum())
+    assert len(nodes) <= 8
+
+
+def test_walk_overlapping_box_opens_to_particles():
+    tree, pos, mass = _build()
+    lo, hi = pos.min(axis=0), pos.max(axis=0)
+    nodes, parts = tree.walk_box(lo, hi, theta=0.5)
+    # A box covering everything can never satisfy the MAC (d = 0).
+    assert nodes.size == 0
+    assert sorted(parts.tolist()) == list(range(len(pos)))
+
+
+def test_walk_mass_conservation_any_theta():
+    tree, pos, mass = _build(n=500)
+    for theta in (0.2, 0.5, 1.0):
+        nodes, parts = tree.walk_box(
+            np.array([40.0, 40.0, 40.0]), np.array([60.0, 60.0, 60.0]), theta
+        )
+        total = tree.node_mass[nodes].sum() + mass[parts].sum()
+        assert total == pytest.approx(mass.sum()), f"theta={theta}"
+
+
+def test_walk_no_duplicate_particles():
+    tree, pos, _ = _build(n=400)
+    nodes, parts = tree.walk_box(
+        np.array([0.0, 0.0, 0.0]), np.array([10.0, 10.0, 10.0]), 0.6
+    )
+    assert len(np.unique(parts)) == len(parts)
+
+
+def test_group_slices_cover_all():
+    tree, pos, _ = _build(n=333)
+    slices = tree.group_slices(50)
+    assert slices[0][0] == 0
+    assert slices[-1][1] == len(pos)
+    for (s0, e0), (s1, e1) in zip(slices, slices[1:]):
+        assert e0 == s1
+    assert all(e - s <= 50 for s, e in slices)
+
+
+def test_single_particle_tree():
+    tree = Octree.build(np.array([[1.0, 2.0, 3.0]]), np.array([5.0]))
+    assert tree.n_nodes == 1
+    assert tree.node_is_leaf[0]
+    assert tree.node_mass[0] == 5.0
+
+
+def test_coincident_particles_terminate():
+    # Identical positions cannot be separated by subdividing; the max-depth
+    # guard must stop the build.
+    pos = np.zeros((20, 3))
+    tree = Octree.build(pos, np.ones(20), leaf_size=4)
+    assert tree.node_count[0] == 20
+
+
+@given(st.integers(10, 200), st.integers(2, 32))
+@settings(max_examples=20, deadline=None)
+def test_tree_mass_invariant_property(n, leaf_size):
+    rng = np.random.default_rng(n * 31 + leaf_size)
+    pos = rng.normal(0.0, 10.0, (n, 3))
+    mass = rng.uniform(0.1, 5.0, n)
+    tree = Octree.build(pos, mass, leaf_size=leaf_size)
+    assert tree.node_mass[0] == pytest.approx(mass.sum())
+    leaves = np.flatnonzero(tree.node_is_leaf)
+    assert tree.node_count[leaves].sum() == n

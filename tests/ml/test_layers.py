@@ -1,0 +1,193 @@
+"""Layer correctness: reference implementations and gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.ml.layers import Conv3D, LeakyReLU, MaxPool3D, Sequential, Upsample3D
+
+
+def _numeric_grad_input(layer, x, grad_out, eps=1e-6):
+    """Finite-difference dL/dx for L = sum(forward(x) * grad_out)."""
+    num = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        lp = np.sum(layer.forward(x) * grad_out)
+        x[idx] = orig - eps
+        lm = np.sum(layer.forward(x) * grad_out)
+        x[idx] = orig
+        num[idx] = (lp - lm) / (2 * eps)
+        it.iternext()
+    return num
+
+
+def _check_input_grad(layer, x, rtol=1e-5, atol=1e-7):
+    rng = np.random.default_rng(0)
+    out = layer.forward(x)
+    grad_out = rng.normal(size=out.shape)
+    analytic = layer.backward(grad_out)
+    layer.forward(x)  # restore caches consumed by the numeric sweep
+    numeric = _numeric_grad_input(layer, x.copy(), grad_out)
+    assert np.allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+# ------------------------------------------------------------------- Conv3D
+def test_conv_identity_kernel():
+    conv = Conv3D(1, 1, 3, rng=np.random.default_rng(0))
+    conv.weight[:] = 0.0
+    conv.weight[0, 0, 1, 1, 1] = 1.0  # delta kernel = identity
+    conv.bias[:] = 0.0
+    x = np.random.default_rng(1).normal(size=(1, 4, 4, 4))
+    assert np.allclose(conv.forward(x), x)
+
+
+def test_conv_against_brute_force():
+    rng = np.random.default_rng(2)
+    conv = Conv3D(2, 3, 3, rng=rng)
+    x = rng.normal(size=(2, 5, 4, 6))
+    out = conv.forward(x)
+    # Brute-force correlation with zero padding.
+    xp = np.pad(x, ((0, 0), (1, 1), (1, 1), (1, 1)))
+    ref = np.zeros_like(out)
+    for co in range(3):
+        for d in range(5):
+            for h in range(4):
+                for w in range(6):
+                    patch = xp[:, d : d + 3, h : h + 3, w : w + 3]
+                    ref[co, d, h, w] = np.sum(patch * conv.weight[co]) + conv.bias[co]
+    assert np.allclose(out, ref)
+
+
+def test_conv_input_gradient():
+    rng = np.random.default_rng(3)
+    conv = Conv3D(2, 2, 3, rng=rng)
+    x = rng.normal(size=(2, 4, 4, 4))
+    _check_input_grad(conv, x)
+
+
+def test_conv_weight_gradient():
+    rng = np.random.default_rng(4)
+    conv = Conv3D(1, 2, 3, rng=rng)
+    x = rng.normal(size=(1, 4, 4, 4))
+    out = conv.forward(x)
+    grad_out = rng.normal(size=out.shape)
+    conv.backward(grad_out)
+    analytic_w = conv.dweight.copy()
+    analytic_b = conv.dbias.copy()
+    eps = 1e-6
+    num_w = np.zeros_like(conv.weight)
+    it = np.nditer(conv.weight, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = conv.weight[idx]
+        conv.weight[idx] = orig + eps
+        lp = np.sum(conv.forward(x) * grad_out)
+        conv.weight[idx] = orig - eps
+        lm = np.sum(conv.forward(x) * grad_out)
+        conv.weight[idx] = orig
+        num_w[idx] = (lp - lm) / (2 * eps)
+        it.iternext()
+    assert np.allclose(analytic_w, num_w, rtol=1e-5, atol=1e-7)
+    # Bias gradient.
+    num_b = np.zeros_like(conv.bias)
+    for c in range(len(conv.bias)):
+        orig = conv.bias[c]
+        conv.bias[c] = orig + eps
+        lp = np.sum(conv.forward(x) * grad_out)
+        conv.bias[c] = orig - eps
+        lm = np.sum(conv.forward(x) * grad_out)
+        conv.bias[c] = orig
+        num_b[c] = (lp - lm) / (2 * eps)
+    assert np.allclose(analytic_b, num_b, rtol=1e-5, atol=1e-7)
+
+
+def test_conv_1x1():
+    rng = np.random.default_rng(5)
+    conv = Conv3D(3, 2, 1, rng=rng)
+    x = rng.normal(size=(3, 4, 4, 4))
+    out = conv.forward(x)
+    ref = np.einsum("oc,cdhw->odhw", conv.weight[:, :, 0, 0, 0], x) + conv.bias[
+        :, None, None, None
+    ]
+    assert np.allclose(out, ref)
+
+
+def test_conv_rejects_even_kernel():
+    with pytest.raises(ValueError):
+        Conv3D(1, 1, 2)
+
+
+def test_conv_rejects_wrong_channels():
+    conv = Conv3D(2, 1, 3)
+    with pytest.raises(ValueError):
+        conv.forward(np.zeros((3, 4, 4, 4)))
+
+
+# ----------------------------------------------------------------- LeakyReLU
+def test_leaky_relu_values_and_grad():
+    lr = LeakyReLU(slope=0.1)
+    x = np.array([[[[-2.0, 3.0]]]])
+    out = lr.forward(x)
+    assert out[0, 0, 0, 0] == pytest.approx(-0.2)
+    assert out[0, 0, 0, 1] == pytest.approx(3.0)
+    grad = lr.backward(np.ones_like(x))
+    assert grad[0, 0, 0, 0] == pytest.approx(0.1)
+    assert grad[0, 0, 0, 1] == pytest.approx(1.0)
+
+
+# ------------------------------------------------------------------- pooling
+def test_maxpool_values():
+    x = np.arange(16.0).reshape(2, 2, 2, 2)
+    mp = MaxPool3D()
+    out = mp.forward(x)
+    assert out.shape == (2, 1, 1, 1)
+    assert out[0, 0, 0, 0] == 7.0
+    assert out[1, 0, 0, 0] == 15.0
+
+
+def test_maxpool_gradient_routes_to_argmax():
+    rng = np.random.default_rng(6)
+    x = rng.normal(size=(1, 4, 4, 4))
+    mp = MaxPool3D()
+    _check_input_grad(mp, x)
+
+
+def test_maxpool_odd_dims_rejected():
+    with pytest.raises(ValueError):
+        MaxPool3D().forward(np.zeros((1, 3, 4, 4)))
+
+
+def test_upsample_shape_and_values():
+    x = np.arange(8.0).reshape(1, 2, 2, 2)
+    up = Upsample3D()
+    out = up.forward(x)
+    assert out.shape == (1, 4, 4, 4)
+    assert np.all(out[0, :2, :2, :2] == x[0, 0, 0, 0])
+
+
+def test_upsample_gradient():
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=(2, 2, 2, 2))
+    _check_input_grad(Upsample3D(), x)
+
+
+def test_pool_then_upsample_identity_on_constant():
+    x = np.full((1, 4, 4, 4), 3.14)
+    seq = Sequential(MaxPool3D(), Upsample3D())
+    assert np.allclose(seq.forward(x), x)
+
+
+def test_sequential_backward_chains():
+    rng = np.random.default_rng(8)
+    seq = Sequential(Conv3D(1, 2, 3, rng=rng), LeakyReLU(), Conv3D(2, 1, 3, rng=rng))
+    x = rng.normal(size=(1, 4, 4, 4))
+    _check_input_grad(seq, x)
+
+
+def test_sequential_params_namespaced():
+    seq = Sequential(Conv3D(1, 2, 3), LeakyReLU(), Conv3D(2, 1, 3))
+    names = set(seq.params())
+    assert "0.weight" in names and "2.bias" in names
+    assert len(names) == 4

@@ -1,0 +1,159 @@
+"""U-Net integration: shapes, gradients, training convergence, export."""
+
+import numpy as np
+import pytest
+
+from repro.ml.loss import mae_loss, mse_grad, mse_loss
+from repro.ml.optim import Adam, SGD
+from repro.ml.serialize import InferenceEngine, load_model, save_model
+from repro.ml.train import evaluate_model, train_model
+from repro.ml.unet import UNet3D
+
+
+@pytest.fixture
+def tiny_unet():
+    return UNet3D(in_channels=2, out_channels=1, base_channels=4, depth=1, seed=0)
+
+
+def test_output_shape(tiny_unet):
+    x = np.random.default_rng(0).normal(size=(2, 8, 8, 8))
+    out = tiny_unet.forward(x)
+    assert out.shape == (1, 8, 8, 8)
+
+
+def test_paper_configuration_shapes():
+    # The paper's 8-channel input / 5-field output (on a smaller grid here).
+    net = UNet3D(in_channels=8, out_channels=5, base_channels=4, depth=2, seed=1)
+    x = np.random.default_rng(1).normal(size=(8, 8, 8, 8))
+    out = net.forward(x)
+    assert out.shape == (5, 8, 8, 8)
+
+
+def test_rejects_bad_input(tiny_unet):
+    with pytest.raises(ValueError):
+        tiny_unet.forward(np.zeros((3, 8, 8, 8)))  # wrong channels
+    with pytest.raises(ValueError):
+        tiny_unet.forward(np.zeros((2, 7, 7, 7)))  # not divisible by 2^depth
+
+
+def test_full_gradient_check():
+    # End-to-end input gradient through encoder/skip/decoder paths.
+    net = UNet3D(in_channels=1, out_channels=1, base_channels=2, depth=1, seed=2)
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(1, 4, 4, 4))
+    out = net.forward(x)
+    grad_out = rng.normal(size=out.shape)
+    analytic = net.backward(grad_out)
+    eps = 1e-6
+    numeric = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        lp = np.sum(net.forward(x) * grad_out)
+        x[idx] = orig - eps
+        lm = np.sum(net.forward(x) * grad_out)
+        x[idx] = orig
+        numeric[idx] = (lp - lm) / (2 * eps)
+        it.iternext()
+    assert np.allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+
+def test_parameter_count_grows_with_base(tiny_unet):
+    big = UNet3D(in_channels=2, out_channels=1, base_channels=8, depth=1, seed=0)
+    assert big.n_parameters() > tiny_unet.n_parameters()
+
+
+def test_overfits_single_sample(tiny_unet):
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=(2, 8, 8, 8))
+    y = rng.normal(size=(1, 8, 8, 8)) * 0.1
+    hist = train_model(tiny_unet, [x], [y], epochs=60, lr=3e-3, val_fraction=0.0)
+    assert hist.train[-1] < 0.2 * hist.train[0]
+
+
+def test_learns_identity_map():
+    # y = x on smooth random fields (the physically relevant regime: the
+    # surrogate's log-density inputs are spatially smooth).  Validation is
+    # on held-out fields, so this checks generalization, not memorization.
+    from scipy.ndimage import gaussian_filter
+
+    net = UNet3D(in_channels=1, out_channels=1, base_channels=4, depth=1, seed=4)
+    rng = np.random.default_rng(4)
+    data = [
+        gaussian_filter(rng.normal(size=(1, 8, 8, 8)), sigma=(0, 1.5, 1.5, 1.5))
+        for _ in range(6)
+    ]
+    hist = train_model(net, data, data, epochs=60, lr=5e-3, val_fraction=0.3, seed=1)
+    assert hist.val[-1] < 0.4 * hist.val[0]
+
+
+def test_early_stopping():
+    net = UNet3D(in_channels=1, out_channels=1, base_channels=2, depth=1, seed=5)
+    rng = np.random.default_rng(5)
+    # Pure-noise targets: validation cannot improve for long.
+    xs = [rng.normal(size=(1, 4, 4, 4)) for _ in range(6)]
+    ys = [rng.normal(size=(1, 4, 4, 4)) for _ in range(6)]
+    hist = train_model(net, xs, ys, epochs=100, lr=1e-4, patience=3, seed=2)
+    assert len(hist.train) < 100
+
+
+def test_adam_beats_sgd_on_small_problem():
+    rng = np.random.default_rng(6)
+    x = rng.normal(size=(1, 8, 8, 8))
+    y = 0.5 * x
+    net_a = UNet3D(1, 1, base_channels=2, depth=1, seed=7)
+    net_s = UNet3D(1, 1, base_channels=2, depth=1, seed=7)
+    h_a = train_model(net_a, [x], [y], epochs=25, val_fraction=0.0, optimizer=Adam(lr=1e-3))
+    h_s = train_model(net_s, [x], [y], epochs=25, val_fraction=0.0,
+                      optimizer=SGD(lr=1e-3))
+    assert h_a.train[-1] < h_s.train[-1]
+
+
+def test_loss_functions():
+    a = np.array([1.0, 2.0])
+    b = np.array([0.0, 0.0])
+    assert mse_loss(a, b) == pytest.approx(2.5)
+    assert mae_loss(a, b) == pytest.approx(1.5)
+    g = mse_grad(a, b)
+    assert np.allclose(g, [1.0, 2.0])
+
+
+def test_train_validates_inputs(tiny_unet):
+    with pytest.raises(ValueError):
+        train_model(tiny_unet, [np.zeros((2, 8, 8, 8))], [], epochs=1)
+    with pytest.raises(ValueError):
+        train_model(tiny_unet, [], [], epochs=1)
+
+
+# ----------------------------------------------------------------- serialize
+def test_save_load_roundtrip(tmp_path, tiny_unet):
+    rng = np.random.default_rng(8)
+    x = rng.normal(size=(2, 8, 8, 8))
+    ref = tiny_unet.forward(x)
+    path = tmp_path / "model.npz"
+    save_model(tiny_unet, path)
+    clone = load_model(path)
+    assert np.allclose(clone.forward(x), ref)
+    assert clone.config() == tiny_unet.config()
+
+
+def test_inference_engine(tmp_path, tiny_unet):
+    rng = np.random.default_rng(9)
+    x = rng.normal(size=(2, 8, 8, 8))
+    path = tmp_path / "model.npz"
+    save_model(tiny_unet, path)
+    engine = InferenceEngine.load(path)
+    assert engine.in_channels == 2
+    assert engine.out_channels == 1
+    assert np.allclose(engine(x), tiny_unet.forward(x))
+    assert engine.n_parameters() == tiny_unet.n_parameters()
+
+
+def test_evaluate_model(tiny_unet):
+    rng = np.random.default_rng(10)
+    xs = [rng.normal(size=(2, 8, 8, 8)) for _ in range(3)]
+    ys = [rng.normal(size=(1, 8, 8, 8)) for _ in range(3)]
+    val = evaluate_model(tiny_unet, xs, ys)
+    assert val > 0

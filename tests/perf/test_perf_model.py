@@ -1,0 +1,161 @@
+"""Performance model: Table 4 shape, Table 3 anchor, scaling curves."""
+
+import numpy as np
+import pytest
+
+from repro.perf.costmodel import PAPER_TABLE3, RunConfig, StepCostModel
+from repro.perf.kernels import PAPER_TABLE4, kernel_performance_table
+from repro.perf.machines import FUGAKU, MIYABI, RUSTY
+from repro.perf.scaling import (
+    projected_one_gyr_walltime,
+    strong_scaling_curve,
+    time_to_solution_speedup,
+    timestep_ratio_vs_conventional,
+    weak_scaling_curve,
+    weak_scaling_efficiency,
+)
+
+
+# ------------------------------------------------------------------ machines
+def test_machine_peaks_match_paper():
+    assert FUGAKU.peak_sp_node_tflops == pytest.approx(6.144)
+    assert FUGAKU.peak_system_pflops(148_896) == pytest.approx(915.0, rel=0.01)
+    assert RUSTY.peak_sp_node_tflops == pytest.approx(12.596, rel=1e-3)
+    assert RUSTY.peak_system_pflops(193) == pytest.approx(2.43, rel=0.01)
+    assert MIYABI.peak_system_pflops(1024) == pytest.approx(68.5, rel=0.01)
+
+
+# ------------------------------------------------------------------- Table 4
+def test_table4_model_within_factor_of_paper():
+    for row in kernel_performance_table():
+        paper = row.paper_efficiency_pct
+        assert row.efficiency_pct == pytest.approx(paper, rel=0.8), (
+            row.isa,
+            row.kernel,
+        )
+
+
+def test_table4_orderings_match_paper():
+    rows = {(r.isa, r.kernel): r for r in kernel_performance_table()}
+    # AVX-512 beats AVX2 beats A64FX on gravity.
+    assert (
+        rows[("genoa-avx512", "gravity")].efficiency_pct
+        > rows[("genoa-avx2", "gravity")].efficiency_pct
+        > rows[("a64fx-sve", "gravity")].efficiency_pct
+    )
+    # AVX2's gather penalty craters the hydro kernels relative to AVX-512.
+    assert (
+        rows[("genoa-avx2", "hydro_density")].efficiency_pct
+        < 0.3 * rows[("genoa-avx512", "hydro_density")].efficiency_pct
+    )
+    # The untuned GPU path is terrible at hydro but decent at gravity.
+    assert rows[("gh200", "gravity")].efficiency_pct > 20.0
+    assert rows[("gh200", "hydro_force")].efficiency_pct < 5.0
+
+
+def test_table4_absolute_speeds_scale():
+    rows = {(r.isa, r.kernel): r for r in kernel_performance_table()}
+    # GPU gravity is in the tens of Tflops; CPU cores in the tens of Gflops.
+    assert rows[("gh200", "gravity")].gflops > 1e4
+    assert 10.0 < rows[("a64fx-sve", "gravity")].gflops < 100.0
+
+
+# ------------------------------------------------------------------- Table 3
+@pytest.fixture(scope="module")
+def anchor_cfg():
+    return RunConfig(machine=FUGAKU, n_nodes=148_896, n_particles=148_896 * 2.0e6)
+
+
+def test_breakdown_reproduces_anchor(anchor_cfg):
+    model = StepCostModel()
+    bd = model.breakdown(anchor_cfg)
+    for key in (
+        "interaction_gravity",
+        "interaction_density",
+        "interaction_hydro_force",
+        "kernel_size",
+        "particle_exchange",
+        "let_gravity",
+        "let_hydro",
+        "tree_gravity",
+        "tree_hydro",
+    ):
+        paper_t = PAPER_TABLE3[key][0]
+        assert bd[key] == pytest.approx(paper_t, rel=0.15), key
+    total = sum(bd.values())
+    assert total == pytest.approx(PAPER_TABLE3["total"][0], rel=0.1)
+
+
+def test_anchor_sustained_pflops(anchor_cfg):
+    model = StepCostModel()
+    # Paper: 8.20 PFLOPS overall, 0.90% efficiency.
+    assert model.achieved_pflops(anchor_cfg) == pytest.approx(8.2, rel=0.25)
+    assert model.efficiency(anchor_cfg) == pytest.approx(0.009, rel=0.3)
+
+
+def test_gravity_dominates_flops_not_time(anchor_cfg):
+    model = StepCostModel()
+    fl = model.flops(anchor_cfg)
+    bd = model.breakdown(anchor_cfg)
+    assert fl["interaction_gravity"] > 10 * fl["interaction_density"]
+    # But comms and kernel-size dominate the wall clock at full scale.
+    assert bd["let_gravity"] + bd["particle_exchange"] > bd["interaction_gravity"]
+
+
+# ------------------------------------------------------------------ scaling
+def test_weak_scaling_total_grows_like_logN():
+    pts = weak_scaling_curve(FUGAKU, [128, 1024, 8192, 65536, 148896])
+    totals = [p.total_seconds for p in pts]
+    assert all(b > a for a, b in zip(totals, totals[1:]))  # grows
+    # But sub-linearly: 1000x more nodes < 4x more time.
+    assert totals[-1] < 4.0 * totals[0]
+
+
+def test_weak_scaling_efficiency_near_paper():
+    pts = weak_scaling_curve(FUGAKU, [128, 148896])
+    eff = weak_scaling_efficiency(pts)
+    # Paper: 54% of the 128-node efficiency at 148k nodes (log-compensated).
+    assert 0.3 < eff < 0.9
+
+
+def test_strong_scaling_decreases_then_communication_limits():
+    pts = strong_scaling_curve(FUGAKU, [4096, 8192, 16384, 40608], n_particles=4.75e10)
+    totals = [p.total_seconds for p in pts]
+    assert totals[-1] < totals[0]  # more nodes still helps
+    # Speedup is sub-ideal: 10x nodes gives < 10x.
+    speedup = totals[0] / totals[-1]
+    assert speedup < 40608 / 4096
+
+
+def test_communication_share_grows_with_scale():
+    pts = weak_scaling_curve(FUGAKU, [128, 148896])
+    def comm_share(p):
+        comm = p.breakdown["let_gravity"] + p.breakdown["let_hydro"] + p.breakdown["particle_exchange"]
+        return comm / p.total_seconds
+    assert comm_share(pts[1]) > comm_share(pts[0])
+
+
+def test_rusty_reaches_paper_particle_counts():
+    # Paper: weakMW2M-equivalent on Rusty reached 2.3e11 particles.
+    pts = weak_scaling_curve(RUSTY, [193], particles_per_node=1.2e9)
+    assert pts[0].n_particles == pytest.approx(2.3e11, rel=0.01)
+    assert pts[0].total_seconds > 0
+
+
+# ----------------------------------------------------------------- Sec. 5.3
+def test_time_to_solution_113x():
+    out = time_to_solution_speedup()
+    # Paper: 315 hours (GIZMO-scaled) vs 2.78 hours -> 113x.
+    assert out["ours_hours_per_myr"] == pytest.approx(2.78, rel=0.01)
+    assert out["gizmo_hours_per_myr"] == pytest.approx(315.0, rel=0.1)
+    assert out["speedup"] == pytest.approx(113.0, rel=0.1)
+
+
+def test_timestep_ratio_10x():
+    assert timestep_ratio_vs_conventional() == pytest.approx(10.0)
+
+
+def test_one_gyr_estimate_60_days():
+    out = projected_one_gyr_walltime(seconds_per_step=10.0)
+    assert out["steps"] == pytest.approx(5e5)
+    assert out["days"] == pytest.approx(57.9, rel=0.01)  # "~60 days"

@@ -1,0 +1,71 @@
+"""Property-style invariants of the scaling model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf.costmodel import RunConfig, StepCostModel
+from repro.perf.machines import FUGAKU, RUSTY
+from repro.perf.scaling import strong_scaling_curve, weak_scaling_curve
+
+
+@given(st.integers(7, 17))  # node counts 128..131072 as powers of two
+@settings(max_examples=12, deadline=None)
+def test_weak_scaling_monotone_property(log2_nodes):
+    p = 2**log2_nodes
+    model = StepCostModel()
+    a = model.total(RunConfig(machine=FUGAKU, n_nodes=p, n_particles=p * 2e6))
+    b = model.total(RunConfig(machine=FUGAKU, n_nodes=2 * p, n_particles=2 * p * 2e6))
+    assert b > a  # weak-scaling totals grow with scale (log N + comms)
+
+
+@given(st.integers(12, 16), st.floats(1e10, 3e11))
+@settings(max_examples=12, deadline=None)
+def test_strong_scaling_monotone_property(log2_nodes, n_particles):
+    p = 2**log2_nodes
+    model = StepCostModel()
+    a = model.total(RunConfig(machine=FUGAKU, n_nodes=p, n_particles=n_particles))
+    b = model.total(RunConfig(machine=FUGAKU, n_nodes=2 * p, n_particles=n_particles))
+    assert b < a  # more nodes on a fixed problem never slows the model down
+
+
+def test_flops_independent_of_node_count():
+    model = StepCostModel()
+    n = 1.0e10
+    f1 = model.total_flops(RunConfig(machine=FUGAKU, n_nodes=1024, n_particles=n))
+    f2 = model.total_flops(RunConfig(machine=FUGAKU, n_nodes=4096, n_particles=n))
+    assert f1 == pytest.approx(f2)
+
+
+def test_flops_grow_superlinearly_with_n():
+    # N log N: doubling N more than doubles the gravity flops.
+    model = StepCostModel()
+    f1 = model.flops(RunConfig(machine=FUGAKU, n_nodes=1024, n_particles=1e10))
+    f2 = model.flops(RunConfig(machine=FUGAKU, n_nodes=1024, n_particles=2e10))
+    assert f2["interaction_gravity"] > 2.0 * f1["interaction_gravity"]
+
+
+def test_bigger_ng_more_gravity_flops():
+    model = StepCostModel()
+    small = RunConfig(machine=FUGAKU, n_nodes=1024, n_particles=1e10, n_g=1024)
+    large = RunConfig(machine=FUGAKU, n_nodes=1024, n_particles=1e10, n_g=65536)
+    assert model.flops(large)["interaction_gravity"] > model.flops(small)["interaction_gravity"]
+
+
+def test_rusty_faster_per_node_than_fugaku():
+    # Same load per node: genoa nodes (2 sockets, 4.1 GHz) beat A64FX nodes.
+    model = StepCostModel()
+    f = model.total(RunConfig(machine=FUGAKU, n_nodes=128, n_particles=128 * 2e6))
+    r = model.total(RunConfig(machine=RUSTY, n_nodes=128, n_particles=128 * 2e6))
+    assert r < f
+
+
+def test_curve_helpers_agree_with_model():
+    model = StepCostModel()
+    pts = weak_scaling_curve(FUGAKU, [512])
+    cfg = RunConfig(machine=FUGAKU, n_nodes=512, n_particles=512 * 2e6)
+    assert pts[0].total_seconds == pytest.approx(model.total(cfg))
+    pts = strong_scaling_curve(FUGAKU, [512], n_particles=1e9)
+    cfg = RunConfig(machine=FUGAKU, n_nodes=512, n_particles=1e9)
+    assert pts[0].total_seconds == pytest.approx(model.total(cfg))

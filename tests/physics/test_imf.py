@@ -1,0 +1,115 @@
+"""IMF sampling statistics and analytic moments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics.imf import KroupaIMF, PiecewisePowerLawIMF, PowerLawSegment, SalpeterIMF
+
+
+@pytest.fixture(scope="module")
+def kroupa():
+    return KroupaIMF()
+
+
+def test_samples_within_bounds(kroupa):
+    m = kroupa.sample(5000, np.random.default_rng(0))
+    assert m.min() >= kroupa.m_min
+    assert m.max() <= kroupa.m_max
+
+
+def test_mean_mass_kroupa(kroupa):
+    # Kroupa mean mass is ~0.4-0.6 M_sun for m_max = 150.
+    mean = kroupa.mean_mass()
+    assert 0.3 < mean < 0.8
+    m = kroupa.sample(200_000, np.random.default_rng(1))
+    assert np.mean(m) == pytest.approx(mean, rel=0.05)
+
+
+def test_massive_star_fraction_is_few_percent(kroupa):
+    # The paper: "massive stars more than about 10 solar masses are only a
+    # few percent of all stellar populations".
+    frac_num = kroupa.number_fraction_above(10.0)
+    assert 1e-4 < frac_num < 0.02
+    frac_mass = kroupa.mass_fraction_above(10.0)
+    assert 0.05 < frac_mass < 0.35
+
+
+def test_number_fraction_matches_sampling(kroupa):
+    rng = np.random.default_rng(2)
+    m = kroupa.sample(300_000, rng)
+    emp = np.mean(m > 8.0)
+    assert emp == pytest.approx(kroupa.number_fraction_above(8.0), rel=0.15)
+
+
+def test_slope_recovered_from_samples(kroupa):
+    rng = np.random.default_rng(3)
+    m = kroupa.sample(400_000, rng)
+    # Fit the high-mass slope on [1, 30]: histogram in log m.
+    bins = np.logspace(0, np.log10(30), 25)
+    hist, edges = np.histogram(m, bins=bins)
+    centers = np.sqrt(edges[:-1] * edges[1:])
+    widths = np.diff(edges)
+    dndm = hist / widths
+    ok = hist > 50
+    slope = np.polyfit(np.log10(centers[ok]), np.log10(dndm[ok]), 1)[0]
+    assert slope == pytest.approx(-2.3, abs=0.15)
+
+
+def test_salpeter_slope():
+    imf = SalpeterIMF()
+    rng = np.random.default_rng(4)
+    m = imf.sample(300_000, rng)
+    bins = np.logspace(np.log10(0.2), np.log10(30), 25)
+    hist, edges = np.histogram(m, bins=bins)
+    centers = np.sqrt(edges[:-1] * edges[1:])
+    dndm = hist / np.diff(edges)
+    ok = hist > 50
+    slope = np.polyfit(np.log10(centers[ok]), np.log10(dndm[ok]), 1)[0]
+    assert slope == pytest.approx(-2.35, abs=0.15)
+
+
+def test_sample_total_mass_hits_budget(kroupa):
+    rng = np.random.default_rng(5)
+    total = 500.0
+    m = kroupa.sample_total_mass(total, rng)
+    assert abs(m.sum() - total) < kroupa.m_max  # off by at most one star
+    assert np.all(m >= kroupa.m_min)
+
+
+def test_sample_total_mass_small_budget(kroupa):
+    rng = np.random.default_rng(6)
+    # Budget below the minimum stellar mass: may return zero stars.
+    m = kroupa.sample_total_mass(0.01, rng)
+    assert m.sum() <= 0.02 + kroupa.m_min
+
+
+def test_sample_total_mass_star_by_star(kroupa):
+    # The paper's star particle mass is 0.75 M_sun: a single gas particle
+    # typically makes one star (sometimes zero or two).
+    rng = np.random.default_rng(7)
+    counts = [len(kroupa.sample_total_mass(0.75, rng)) for _ in range(200)]
+    assert 0 <= min(counts)
+    assert max(counts) <= 8
+    assert np.mean(counts) < 4
+
+
+def test_zero_budget(kroupa):
+    assert len(kroupa.sample_total_mass(0.0, np.random.default_rng(0))) == 0
+
+
+def test_contiguity_validation():
+    with pytest.raises(ValueError):
+        PiecewisePowerLawIMF(
+            [PowerLawSegment(0.1, 0.5, 1.3), PowerLawSegment(0.6, 10, 2.3)]
+        )
+
+
+@given(st.floats(0.5, 20.0), st.integers(0, 100))
+@settings(max_examples=20, deadline=None)
+def test_number_fraction_monotone_property(m_cut, seed):
+    imf = KroupaIMF()
+    f1 = imf.number_fraction_above(m_cut)
+    f2 = imf.number_fraction_above(m_cut * 2)
+    assert 0.0 <= f2 <= f1 <= 1.0

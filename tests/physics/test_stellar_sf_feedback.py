@@ -1,0 +1,187 @@
+"""Stellar lifetimes, SN scheduling, star formation, feedback injection."""
+
+import numpy as np
+import pytest
+
+from repro.fdps.particles import ParticleSet, ParticleType
+from repro.physics.feedback import SNFeedback, SNYields, metallicity
+from repro.physics.star_formation import StarFormationModel
+from repro.physics.stellar import (
+    SN_MASS_MAX,
+    SN_MASS_MIN,
+    exploding_between,
+    is_sn_progenitor,
+    schedule_sn,
+    stellar_lifetime,
+)
+from repro.util.constants import SN_ENERGY, internal_energy_to_temperature, temperature_to_internal_energy
+
+
+# --------------------------------------------------------------- lifetimes
+def test_lifetime_monotone_decreasing():
+    m = np.array([0.5, 1.0, 5.0, 10.0, 40.0, 100.0])
+    t = stellar_lifetime(m)
+    assert np.all(np.diff(t) < 0)
+
+
+def test_solar_lifetime_about_10_gyr():
+    t = stellar_lifetime(1.0)
+    assert 8e3 < t < 2e4  # Myr
+
+
+def test_massive_star_lifetime_few_myr():
+    t = stellar_lifetime(40.0)
+    assert 1.0 < t < 10.0
+    t10 = stellar_lifetime(10.0)
+    assert 10.0 < t10 < 40.0
+
+
+def test_progenitor_window():
+    assert not is_sn_progenitor(1.0)
+    assert is_sn_progenitor(8.0)
+    assert is_sn_progenitor(25.0)
+    assert not is_sn_progenitor(50.0)
+    assert SN_MASS_MIN == 8.0 and SN_MASS_MAX == 40.0
+
+
+def test_schedule_sn_and_window_query():
+    masses = np.array([1.0, 10.0, 20.0])
+    tsn = schedule_sn(masses, t_form=100.0)
+    assert np.isinf(tsn[0])
+    assert np.all(tsn[1:] > 100.0)
+    # The 20 M_sun star dies first.
+    assert tsn[2] < tsn[1]
+    idx = exploding_between(tsn, tsn[2] - 0.1, tsn[2] + 0.1)
+    assert list(idx) == [2]
+
+
+# ---------------------------------------------------------- star formation
+def _dense_cold_gas(n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    ps = ParticleSet.from_arrays(
+        pos=rng.uniform(0, 10, (n, 3)),
+        mass=np.full(n, 1.0),
+        pid=np.arange(n),
+        ptype=np.full(n, int(ParticleType.GAS)),
+    )
+    ps.dens[:] = 100.0
+    ps.u[:] = temperature_to_internal_energy(50.0)
+    ps.divv[:] = -1.0
+    ps.h[:] = 1.0
+    return ps
+
+
+def test_eligibility_criteria():
+    sf = StarFormationModel(density_threshold=10.0, temperature_threshold=300.0)
+    ps = _dense_cold_gas()
+    assert sf.eligible(ps).all()
+    ps.dens[:10] = 0.1
+    ps.u[10:20] = temperature_to_internal_energy(1e5)
+    ps.divv[20:30] = +1.0
+    mask = sf.eligible(ps)
+    assert not mask[:30].any()
+    assert mask[30:].all()
+
+
+def test_stars_ineligible():
+    sf = StarFormationModel()
+    ps = _dense_cold_gas()
+    ps.ptype[:] = int(ParticleType.STAR)
+    assert not sf.eligible(ps).any()
+
+
+def test_formation_probability_increases_with_density():
+    sf = StarFormationModel(efficiency=0.05)
+    p = sf.formation_probability(np.array([10.0, 1000.0]), dt=1.0)
+    assert 0 < p[0] < p[1] < 1.0
+
+
+def test_form_stars_creates_individual_stars():
+    sf = StarFormationModel(efficiency=1e9)  # force conversion this step
+    ps = _dense_cold_gas(50)
+    rng = np.random.default_rng(1)
+    out, events, next_pid = sf.form_stars(ps, time=10.0, dt=1.0, rng=rng, next_pid=1000)
+    stars = out.stars()
+    assert len(events) > 0
+    assert len(stars) > 0
+    # Star-by-star: individual masses from the IMF, not equal chunks.
+    assert len(np.unique(np.round(stars.mass, 6))) > 1
+    assert np.all(stars.tform == 10.0)
+    assert next_pid > 1000
+    # Massive ones have finite SN times.
+    massive = stars.mass > 8.0
+    assert np.all(np.isfinite(stars.tsn[massive]))
+    light = stars.mass < 8.0
+    assert np.all(np.isinf(stars.tsn[light]))
+
+
+def test_form_stars_mass_budget():
+    sf = StarFormationModel(efficiency=1e9)
+    ps = _dense_cold_gas(50)
+    m0 = ps.total_mass()
+    rng = np.random.default_rng(2)
+    out, events, _ = sf.form_stars(ps, time=0.0, dt=1.0, rng=rng, next_pid=0)
+    # Total mass conserved to within one IMF star per event.
+    assert abs(out.total_mass() - m0) < 150.0 * len(events) * 0.02 + 5.0
+
+
+def test_no_formation_when_cold_gas_absent():
+    sf = StarFormationModel()
+    ps = _dense_cold_gas(20)
+    ps.u[:] = temperature_to_internal_energy(1e6)
+    rng = np.random.default_rng(3)
+    out, events, next_pid = sf.form_stars(ps, 0.0, 1.0, rng, next_pid=5)
+    assert events == []
+    assert len(out) == 20
+    assert next_pid == 5
+
+
+# --------------------------------------------------------------- feedback
+def test_sn_injection_conserves_energy_budget(uniform_gas_ps):
+    ps = uniform_gas_ps.copy()
+    e0 = ps.thermal_energy()
+    fb = SNFeedback()
+    n = fb.inject(ps, center=np.zeros(3))
+    assert n > 0
+    e1 = ps.thermal_energy()
+    assert e1 - e0 == pytest.approx(SN_ENERGY, rel=1e-9)
+
+
+def test_sn_heats_center_most(uniform_gas_ps):
+    ps = uniform_gas_ps.copy()
+    fb = SNFeedback()
+    fb.inject(ps, center=np.zeros(3))
+    r = np.linalg.norm(ps.pos, axis=1)
+    t_new = internal_energy_to_temperature(ps.u)
+    near = r < 7.5  # inside the injection radius (lattice spacing is 5 pc)
+    far = r > 20.0
+    assert np.median(t_new[near]) > 100.0 * np.median(t_new[far])
+    # SN-heated gas reaches ~1e7 K (the paper's Fig. 1 annotation).
+    assert t_new.max() > 1e6
+
+
+def test_sn_metal_injection(uniform_gas_ps):
+    ps = uniform_gas_ps.copy()
+    fb = SNFeedback(yields=SNYields(c=0.1, o=1.0, mg=0.1, fe=0.08))
+    fb.inject(ps, center=np.zeros(3), ejecta_mass=1.28)
+    z = metallicity(ps)
+    assert z.max() > 0
+    # Total injected metal mass equals the yields.
+    total_metal = float((ps.zmet * ps.mass[:, None]).sum())
+    assert total_metal == pytest.approx(1.28, rel=1e-6)
+    # Oxygen dominates.
+    per_species = (ps.zmet * ps.mass[:, None]).sum(axis=0)
+    assert per_species[1] == per_species.max()
+
+
+def test_sn_into_void_uses_nearest(uniform_gas_ps):
+    ps = uniform_gas_ps.copy()
+    fb = SNFeedback(coupling_radius=0.5)
+    n = fb.inject(ps, center=np.array([500.0, 0.0, 0.0]))
+    assert n == 1
+
+
+def test_sn_no_gas_is_noop():
+    ps = ParticleSet.from_arrays(pos=np.zeros((3, 3)), ptype=np.full(3, int(ParticleType.STAR)))
+    fb = SNFeedback()
+    assert fb.inject(ps, center=np.zeros(3)) == 0

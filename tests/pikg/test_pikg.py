@@ -1,0 +1,177 @@
+"""PIKG: DSL parsing, generated-kernel correctness, Remez/PPA accuracy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gravity.kernels import accel_between
+from repro.pikg.codegen import generate_numpy_kernel, generate_scalar_kernel
+from repro.pikg.dsl import GRAVITY_DSL, parse_kernel
+from repro.pikg.ppa import PPATable, remez_minimax
+from repro.sph.kernels import CubicSpline
+
+
+# ---------------------------------------------------------------------- DSL
+def test_parse_gravity_kernel():
+    spec = parse_kernel(GRAVITY_DSL, name="grav")
+    assert spec.i_vars == {"xi": 3, "eps2_i": 1}
+    assert spec.j_vars == {"xj": 3, "m_j": 1, "eps2_j": 1}
+    assert spec.accumulators == {"f": 3}
+    assert len(spec.statements) == 5
+
+
+def test_gravity_op_count_near_paper():
+    # Table 4 quotes 27 operations for the gravity kernel; our counting
+    # convention should land in the same ballpark.
+    spec = parse_kernel(GRAVITY_DSL)
+    ops = spec.operation_count()
+    assert 20 <= ops <= 35
+
+
+def test_rejects_unknown_intrinsic():
+    with pytest.raises(ValueError):
+        parse_kernel("i: a\nj: b\nacc: c\nc += evil(a, b)")
+
+
+def test_rejects_attribute_access():
+    with pytest.raises(ValueError):
+        parse_kernel("i: a\nj: b\nacc: c\nc += a.__class__")
+
+
+def test_rejects_accumulate_on_temporary():
+    with pytest.raises(ValueError):
+        parse_kernel("i: a\nj: b\nacc: c\nt += a * b")
+
+
+def test_rejects_empty():
+    with pytest.raises(ValueError):
+        parse_kernel("i: a\nj: b\nacc: c\n")
+
+
+# ------------------------------------------------------------------ codegen
+@pytest.fixture(scope="module")
+def grav_spec():
+    return parse_kernel(GRAVITY_DSL, name="grav")
+
+
+def _gravity_inputs(n_i=20, n_j=30, seed=0):
+    rng = np.random.default_rng(seed)
+    i_arrays = {
+        "xi": rng.normal(0, 10, (n_i, 3)),
+        "eps2_i": np.full(n_i, 0.25),
+    }
+    j_arrays = {
+        "xj": rng.normal(0, 10, (n_j, 3)),
+        "m_j": rng.uniform(0.5, 2.0, n_j),
+        "eps2_j": np.full(n_j, 0.25),
+    }
+    return i_arrays, j_arrays
+
+
+def test_numpy_kernel_matches_reference_gravity(grav_spec):
+    fn = generate_numpy_kernel(grav_spec)
+    i_arrays, j_arrays = _gravity_inputs()
+    out = fn(i_arrays, j_arrays)["f"]
+    # Reference: the hand-written library kernel, without G and unsummed
+    # self-exclusion (sources are distinct points here).
+    ref = accel_between(
+        i_arrays["xi"],
+        np.sqrt(i_arrays["eps2_i"]),
+        j_arrays["xj"],
+        j_arrays["m_j"],
+        np.sqrt(j_arrays["eps2_j"]),
+        g=1.0,
+    )
+    assert np.allclose(out, ref, rtol=1e-12)
+
+
+def test_scalar_and_numpy_backends_agree(grav_spec):
+    f_np = generate_numpy_kernel(grav_spec)
+    f_sc = generate_scalar_kernel(grav_spec)
+    i_arrays, j_arrays = _gravity_inputs(n_i=5, n_j=7, seed=1)
+    a = f_np(i_arrays, j_arrays)
+    b = f_sc(i_arrays, j_arrays)
+    assert np.allclose(a["f"], b["f"], rtol=1e-12)
+
+
+def test_scalar_accumulator_kernel():
+    spec = parse_kernel(
+        "i: xi[3]\nj: xj[3], m_j\nacc: pot\n"
+        "rij = xi - xj\n"
+        "r2 = dot(rij, rij) + 0.01\n"
+        "pot += m_j * rsqrt(r2)\n",
+        name="potk",
+    )
+    f_np = generate_numpy_kernel(spec)
+    f_sc = generate_scalar_kernel(spec)
+    i_arrays, j_arrays = _gravity_inputs(n_i=4, n_j=6, seed=2)
+    del j_arrays["eps2_j"]
+    del i_arrays["eps2_i"]
+    a = f_np(i_arrays, j_arrays)["pot"]
+    b = f_sc(i_arrays, j_arrays)["pot"]
+    assert a.shape == (4,)
+    assert np.allclose(a, b, rtol=1e-12)
+
+
+def test_generated_source_is_inspectable(grav_spec):
+    fn = generate_numpy_kernel(grav_spec)
+    assert "def grav(" in fn.source
+    assert "SoA" in fn.source
+    assert fn.spec is grav_spec
+
+
+# --------------------------------------------------------------------- PPA
+def test_remez_exact_for_polynomials():
+    # A cubic is reproduced exactly by a degree-3 minimax fit.
+    f = lambda x: 2.0 - x + 0.5 * x**2 - 0.25 * x**3
+    coeffs, err = remez_minimax(f, 0.0, 1.0, 3)
+    assert err < 1e-12
+    assert np.allclose(coeffs, [2.0, -1.0, 0.5, -0.25], atol=1e-10)
+
+
+def test_remez_error_decreases_with_degree():
+    f = np.exp
+    errs = [remez_minimax(f, 0.0, 1.0, d)[1] for d in (1, 2, 3, 4)]
+    assert all(a > b for a, b in zip(errs, errs[1:]))
+
+
+def test_remez_beats_taylor():
+    # Minimax should outperform the Taylor polynomial of the same degree.
+    f = np.exp
+    _, err_minimax = remez_minimax(f, 0.0, 1.0, 3)
+    xs = np.linspace(0, 1, 2001)
+    taylor = 1 + xs + xs**2 / 2 + xs**3 / 6
+    err_taylor = np.max(np.abs(taylor - np.exp(xs)))
+    assert err_minimax < 0.5 * err_taylor
+
+
+def test_ppa_table_accuracy_on_sph_kernel():
+    # The production use case: approximate the cubic-spline kernel profile.
+    k = CubicSpline()
+    f = lambda q: k.w(np.asarray(q))
+    table = PPATable.fit(f, x_max=1.0, n_segments=8, degree=3)
+    q = np.linspace(0, 0.999, 5000)
+    assert np.max(np.abs(table(q) - f(q))) < 5e-4
+    assert table.max_error < 5e-4
+
+
+def test_ppa_more_segments_more_accurate():
+    k = CubicSpline()
+    f = lambda q: k.w(np.asarray(q))
+    e4 = PPATable.fit(f, 1.0, n_segments=4, degree=2).max_error
+    e16 = PPATable.fit(f, 1.0, n_segments=16, degree=2).max_error
+    assert e16 < e4
+
+
+def test_ppa_flops_accounting():
+    t = PPATable.fit(np.exp, 1.0, n_segments=4, degree=3)
+    assert t.flops_per_eval() == 9
+
+
+@given(st.integers(2, 6), st.integers(2, 4))
+@settings(max_examples=10, deadline=None)
+def test_ppa_error_bound_property(n_segments, degree):
+    table = PPATable.fit(np.sin, 2.0, n_segments=n_segments, degree=degree)
+    x = np.linspace(0, 1.999, 1000)
+    assert np.max(np.abs(table(x) - np.sin(x))) <= table.max_error * 1.5 + 1e-12

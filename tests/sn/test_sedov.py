@@ -1,0 +1,115 @@
+"""Sedov–Taylor solution against literature values and conservation laws."""
+
+import numpy as np
+import pytest
+
+from repro.sn.sedov import SedovSolution, sedov_shock_radius
+from repro.util.constants import GAMMA, SN_ENERGY
+
+
+@pytest.fixture(scope="module")
+def sol():
+    return SedovSolution(energy=1.0, rho0=1.0, gamma=GAMMA)
+
+
+def test_beta_matches_literature(sol):
+    # gamma = 5/3: beta ~ 1.152 (Sedov 1959; Kamm & Timmes 2007).
+    assert sol.beta == pytest.approx(1.1517, abs=0.01)
+
+
+def test_beta_gamma_14():
+    s = SedovSolution(energy=1.0, rho0=1.0, gamma=1.4)
+    # gamma = 7/5: beta ~ 1.033.
+    assert s.beta == pytest.approx(1.033, abs=0.01)
+
+
+def test_shock_radius_scaling(sol):
+    r1 = sol.shock_radius(1.0)
+    r32 = sol.shock_radius(32.0)
+    assert r32 / r1 == pytest.approx(32.0 ** 0.4, rel=1e-12)
+    # Energy scaling E^{1/5}.
+    s10 = SedovSolution(energy=1e5, rho0=1.0)
+    assert s10.shock_radius(1.0) / r1 == pytest.approx(10.0, rel=1e-12)
+
+
+def test_module_level_helper(sol):
+    assert sedov_shock_radius(1.0, 1.0, 2.0) == pytest.approx(sol.shock_radius(2.0))
+
+
+def test_compression_ratio_at_shock(sol):
+    t = 1.0
+    rs = sol.shock_radius(t)
+    dens, _, _ = sol.evaluate(np.array([rs * 0.999]), t)
+    # Strong shock: rho2/rho0 = (gamma+1)/(gamma-1) = 4 for gamma = 5/3.
+    assert dens[0] / sol.rho0 == pytest.approx(4.0, rel=0.02)
+
+
+def test_ambient_state_outside(sol):
+    t = 1.0
+    rs = sol.shock_radius(t)
+    dens, vel, u = sol.evaluate(np.array([rs * 1.5, rs * 3.0]), t)
+    assert np.allclose(dens, sol.rho0)
+    assert np.allclose(vel, 0.0)
+
+
+def test_central_evacuation(sol):
+    t = 1.0
+    rs = sol.shock_radius(t)
+    dens, _, _ = sol.evaluate(np.array([0.01 * rs]), t)
+    assert dens[0] < 0.05 * sol.rho0  # interior is nearly empty
+
+
+def test_energy_conservation(sol):
+    # The integrated kinetic+thermal energy inside the shock equals E.
+    for t in (0.5, 2.0):
+        assert sol.total_energy(t) == pytest.approx(sol.energy, rel=0.02)
+
+
+def test_mass_conservation(sol):
+    # Mass inside the shock = swept ambient mass: integral of the profile.
+    t = 1.0
+    rs = sol.shock_radius(t)
+    r = np.linspace(rs * 1e-3, rs, 4000)
+    dens, _, _ = sol.evaluate(r, t)
+    m = np.trapezoid(4 * np.pi * r**2 * dens, r)
+    assert m == pytest.approx(sol.swept_mass(t), rel=0.02)
+
+
+def test_velocity_profile_monotone_inside(sol):
+    t = 1.0
+    rs = sol.shock_radius(t)
+    r = np.linspace(0.05 * rs, 0.999 * rs, 200)
+    _, vel, _ = sol.evaluate(r, t)
+    assert np.all(vel >= 0)
+    assert vel[-1] == pytest.approx(2.0 / (GAMMA + 1.0) * sol.shock_velocity(t), rel=0.02)
+
+
+def test_apply_to_particles_radial(sol):
+    rng = np.random.default_rng(0)
+    pos = rng.uniform(-2, 2, (500, 3))
+    center = np.zeros(3)
+    dens, vel, u = sol.apply_to_particles(pos, center, t=1.0)
+    # Velocities point radially outward.
+    r = np.linalg.norm(pos, axis=1)
+    inside = r < sol.shock_radius(1.0)
+    vdotr = np.einsum("ij,ij->i", vel, pos)
+    assert np.all(vdotr[inside] >= -1e-12)
+    assert np.all(dens > 0)
+    assert np.all(np.isfinite(u))
+
+
+def test_physical_sn_scale():
+    # A real SN (1e51 erg) in n_H ~ 1 cm^-3 gas (0.031 M_sun/pc^3):
+    # after 0.1 Myr the adiabatic shell radius is ~32 pc — just filling the
+    # paper's (60 pc)^3 prediction region (half-side 30 pc; real shells are
+    # slightly smaller due to radiative losses).
+    s = SedovSolution(energy=SN_ENERGY, rho0=0.031)
+    r = s.shock_radius(0.1)
+    assert 15.0 < r < 40.0
+
+
+def test_shock_velocity_definition(sol):
+    t = 2.0
+    eps = 1e-6
+    numeric = (sol.shock_radius(t + eps) - sol.shock_radius(t - eps)) / (2 * eps)
+    assert sol.shock_velocity(t) == pytest.approx(numeric, rel=1e-6)

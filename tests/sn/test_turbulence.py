@@ -1,0 +1,94 @@
+"""Turbulent field spectra and turbulent-box initial conditions."""
+
+import numpy as np
+import pytest
+
+from repro.fdps.particles import ParticleType
+from repro.sn.turbulence import (
+    make_turbulent_box,
+    measure_power_spectrum,
+    turbulent_velocity_field,
+)
+from repro.util.constants import internal_energy_to_temperature
+
+
+def test_field_shape_and_rms():
+    v = turbulent_velocity_field(16, seed=0)
+    assert v.shape == (3, 16, 16, 16)
+    for c in range(3):
+        assert np.sqrt(np.mean(v[c] ** 2)) == pytest.approx(1.0, rel=1e-9)
+
+
+def test_field_reproducible():
+    a = turbulent_velocity_field(8, seed=5)
+    b = turbulent_velocity_field(8, seed=5)
+    assert np.array_equal(a, b)
+    c = turbulent_velocity_field(8, seed=6)
+    assert not np.array_equal(a, c)
+
+
+def test_spectrum_slope_is_minus_four():
+    # P(k) ~ k^-4 (the paper's v ~ k^-4 spectrum for star-forming regions).
+    v = turbulent_velocity_field(64, spectral_index=-4.0, seed=1)
+    k, pk = measure_power_spectrum(v[0], n_bins=12)
+    ok = (k > 2) & (k < 20) & (pk > 0)
+    slope = np.polyfit(np.log10(k[ok]), np.log10(pk[ok]), 1)[0]
+    assert slope == pytest.approx(-4.0, abs=0.5)
+
+
+def test_spectral_index_is_respected():
+    v = turbulent_velocity_field(64, spectral_index=-2.0, seed=2)
+    k, pk = measure_power_spectrum(v[0], n_bins=12)
+    ok = (k > 2) & (k < 20) & (pk > 0)
+    slope = np.polyfit(np.log10(k[ok]), np.log10(pk[ok]), 1)[0]
+    assert slope == pytest.approx(-2.0, abs=0.5)
+
+
+def test_solenoidal_projection_reduces_divergence():
+    n = 32
+    v_sol = turbulent_velocity_field(n, seed=3, solenoidal_fraction=1.0)
+    v_mix = turbulent_velocity_field(n, seed=3, solenoidal_fraction=None)
+
+    def mean_div2(v):
+        dx = np.gradient(v[0], axis=0)
+        dy = np.gradient(v[1], axis=1)
+        dz = np.gradient(v[2], axis=2)
+        return np.mean((dx + dy + dz) ** 2)
+
+    assert mean_div2(v_sol) < 0.2 * mean_div2(v_mix)
+
+
+def test_turbulent_box_bulk_properties():
+    side = 60.0
+    ps = make_turbulent_box(n_per_side=10, side=side, mean_density=0.05,
+                            temperature=100.0, mach=5.0, seed=0)
+    assert len(ps) == 1000
+    assert np.all(ps.ptype == int(ParticleType.GAS))
+    # Density: total mass over volume.
+    assert ps.total_mass() / side**3 == pytest.approx(0.05, rel=1e-6)
+    # Temperature as requested.
+    t = internal_energy_to_temperature(ps.u)
+    assert np.allclose(t, 100.0, rtol=0.05)
+    # Zero net momentum.
+    assert np.allclose(ps.momentum(), 0.0, atol=1e-8 * ps.total_mass())
+
+
+def test_turbulent_box_mach_number():
+    ps = make_turbulent_box(n_per_side=12, temperature=100.0, mach=5.0, seed=1)
+    cs_iso = np.sqrt(2.0 / 3.0 * ps.u[0])
+    v_rms = np.sqrt(np.mean(np.sum(ps.vel**2, axis=1)) / 3.0)
+    assert v_rms / cs_iso == pytest.approx(5.0, rel=0.05)
+
+
+def test_turbulent_box_positions_span_box():
+    side = 60.0
+    ps = make_turbulent_box(n_per_side=8, side=side, seed=2)
+    lo, hi = ps.bounding_box()
+    assert np.all(lo > -side)
+    assert np.all(hi < side)
+    assert np.all(hi - lo > 0.7 * side)
+
+
+def test_particle_mass_override():
+    ps = make_turbulent_box(n_per_side=6, particle_mass=1.0, seed=3)
+    assert np.allclose(ps.mass, 1.0)

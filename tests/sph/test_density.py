@@ -1,0 +1,142 @@
+"""Density pass: lattice density, h convergence, companion fields."""
+
+import numpy as np
+import pytest
+
+from repro.sph.density import compute_density
+from repro.sph.kernels import WendlandC2
+from repro.util.constants import GAMMA
+
+
+def _lattice(npts=10, side=1.0, jitter=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    g = (np.arange(npts) + 0.5) / npts * side
+    xx, yy, zz = np.meshgrid(g, g, g, indexing="ij")
+    pos = np.column_stack([xx.ravel(), yy.ravel(), zz.ravel()])
+    if jitter:
+        pos += rng.normal(0, jitter * side / npts, pos.shape)
+    return pos
+
+
+def test_uniform_lattice_density():
+    pos = _lattice(10, side=1.0)
+    n = len(pos)
+    mass = np.full(n, 1.0 / n)  # total mass 1 in unit volume -> rho = 1
+    vel = np.zeros((n, 3))
+    u = np.ones(n)
+    res = compute_density(pos, vel, mass, u, np.full(n, 0.25), n_ngb=40)
+    core = np.all((pos > 0.25) & (pos < 0.75), axis=1)  # avoid edge deficit
+    assert np.median(res.dens[core]) == pytest.approx(1.0, rel=0.05)
+
+
+def test_h_converges_to_target_neighbor_count():
+    pos = _lattice(12, side=1.0, jitter=0.2)
+    n = len(pos)
+    res = compute_density(
+        pos, np.zeros((n, 3)), np.ones(n), np.ones(n),
+        np.full(n, 0.3), n_ngb=50, tol=0.2,
+    )
+    core = np.all((pos > 0.25) & (pos < 0.75), axis=1)
+    counts = res.n_neighbors[core]
+    assert np.median(counts) == pytest.approx(50, rel=0.25)
+
+
+def test_good_initial_guess_converges_in_two_sweeps():
+    # The paper's Sec. 5.2.5 claim: with a proper guess the kernel-size
+    # iteration needs ~2 sweeps.
+    pos = _lattice(10, side=1.0, jitter=0.1)
+    n = len(pos)
+    first = compute_density(
+        pos, np.zeros((n, 3)), np.ones(n), np.ones(n), np.full(n, 0.2),
+        n_ngb=40, tol=0.12,
+    )
+    again = compute_density(
+        pos, np.zeros((n, 3)), np.ones(n), np.ones(n), first.h,
+        n_ngb=40, tol=0.12,
+    )
+    assert again.iterations <= 2
+
+
+def test_omega_near_unity_for_uniform():
+    pos = _lattice(10)
+    n = len(pos)
+    res = compute_density(
+        pos, np.zeros((n, 3)), np.ones(n), np.ones(n), np.full(n, 0.25), n_ngb=40
+    )
+    core = np.all((pos > 0.25) & (pos < 0.75), axis=1)
+    assert np.median(np.abs(res.omega[core] - 1.0)) < 0.2
+
+
+def test_divergence_of_hubble_flow():
+    # v = H x has div v = 3H and zero curl.
+    pos = _lattice(12, jitter=0.05)
+    n = len(pos)
+    hubble = 2.5
+    vel = hubble * (pos - 0.5)
+    res = compute_density(
+        pos, vel, np.ones(n), np.ones(n), np.full(n, 0.25), n_ngb=60
+    )
+    core = np.all((pos > 0.3) & (pos < 0.7), axis=1)
+    assert np.median(res.divv[core]) == pytest.approx(3 * hubble, rel=0.15)
+    assert np.median(res.curlv[core]) < 0.3 * 3 * hubble
+
+
+def test_curl_of_rigid_rotation():
+    # v = omega x r: curl = 2 omega, div = 0.
+    pos = _lattice(12, jitter=0.05)
+    n = len(pos)
+    om = 3.0
+    rel = pos - 0.5
+    vel = np.column_stack([-om * rel[:, 1], om * rel[:, 0], np.zeros(n)])
+    res = compute_density(
+        pos, vel, np.ones(n), np.ones(n), np.full(n, 0.25), n_ngb=60
+    )
+    core = np.all((pos > 0.3) & (pos < 0.7), axis=1)
+    assert np.median(res.curlv[core]) == pytest.approx(2 * om, rel=0.15)
+    assert np.abs(np.median(res.divv[core])) < 0.3 * om
+
+
+def test_pressure_and_sound_speed():
+    pos = _lattice(8)
+    n = len(pos)
+    u = np.full(n, 4.0)
+    res = compute_density(
+        pos, np.zeros((n, 3)), np.ones(n), u, np.full(n, 0.3), n_ngb=40
+    )
+    assert np.allclose(res.pres, (GAMMA - 1) * res.dens * u)
+    assert np.allclose(res.csnd, np.sqrt(GAMMA * res.pres / res.dens))
+
+
+def test_density_positive_everywhere():
+    rng = np.random.default_rng(3)
+    pos = rng.uniform(0, 1, (400, 3))
+    n = len(pos)
+    res = compute_density(
+        pos, np.zeros((n, 3)), np.ones(n), np.ones(n), np.full(n, 0.25), n_ngb=33
+    )
+    assert np.all(res.dens > 0)
+    assert np.all(np.isfinite(res.omega))
+
+
+def test_wendland_kernel_option():
+    pos = _lattice(8)
+    n = len(pos)
+    res = compute_density(
+        pos, np.zeros((n, 3)), np.full(n, 1.0 / n), np.ones(n),
+        np.full(n, 0.35), n_ngb=55, kernel=WendlandC2(),
+    )
+    core = np.all((pos > 0.25) & (pos < 0.75), axis=1)
+    assert np.median(res.dens[core]) == pytest.approx(1.0, rel=0.1)
+
+
+def test_mass_weighting():
+    # Doubling every mass doubles the density.
+    pos = _lattice(8, jitter=0.1)
+    n = len(pos)
+    r1 = compute_density(
+        pos, np.zeros((n, 3)), np.ones(n), np.ones(n), np.full(n, 0.3), n_ngb=40
+    )
+    r2 = compute_density(
+        pos, np.zeros((n, 3)), 2 * np.ones(n), np.ones(n), np.full(n, 0.3), n_ngb=40
+    )
+    assert np.allclose(r2.dens, 2 * r1.dens)

@@ -1,0 +1,65 @@
+"""Hierarchical-timestep cost accounting (the Sec. 1 argument)."""
+
+import numpy as np
+import pytest
+
+from repro.sph.timestep import (
+    hierarchical_bins,
+    hierarchical_efficiency,
+    hierarchical_update_fractions,
+)
+
+
+def test_update_fractions_sum_to_one():
+    dts = np.array([2e-3] * 90 + [1e-4] * 10)
+    levels, fracs = hierarchical_update_fractions(dts, dt_base=2e-3)
+    assert fracs.sum() == pytest.approx(1.0)
+    assert 0 in levels
+    assert fracs[list(levels).index(0)] == pytest.approx(0.9)
+
+
+def test_efficiency_all_equal_timesteps():
+    # Everyone in bin 0: hierarchical == shared modulo the overhead.
+    dts = np.full(1000, 2e-3)
+    out = hierarchical_efficiency(dts, dt_base=2e-3, fixed_overhead=0.3)
+    assert out["k_max"] == 0
+    assert out["individual_updates"] == out["shared_updates"]
+    assert out["speedup"] == pytest.approx(1.0 / 1.3)
+
+
+def test_efficiency_improves_with_smaller_hot_fraction():
+    n = 10_000
+    speedups = []
+    for hot in (0.1, 0.01, 0.001):
+        dts = np.full(n, 2e-3)
+        dts[: int(hot * n)] = 2e-3 / 32
+        speedups.append(hierarchical_efficiency(dts, 2e-3)["speedup"])
+    assert speedups[0] < speedups[1] < speedups[2]
+
+
+def test_efficiency_capped_by_overhead():
+    # Even a single deep particle cannot push the speedup past the ceiling.
+    n = 100_000
+    dts = np.full(n, 2e-3)
+    dts[0] = 2e-3 / 1024
+    out = hierarchical_efficiency(dts, 2e-3, fixed_overhead=0.3)
+    assert out["speedup"] <= out["speedup_ceiling"]
+    assert out["speedup"] > 0.9 * out["speedup_ceiling"]
+    # While the *shared* scheme pays the full 1024x.
+    assert out["shared_updates"] == n * 1024
+
+
+def test_zero_overhead_recovers_ideal_individual_stepping():
+    dts = np.array([2e-3] * 99 + [2e-3 / 16])
+    out = hierarchical_efficiency(dts, 2e-3, fixed_overhead=0.0)
+    ideal = (100 * 16) / (99 + 16)
+    assert out["speedup"] == pytest.approx(ideal)
+
+
+def test_bins_consistency_with_fractions():
+    rng = np.random.default_rng(0)
+    dts = 2e-3 * 2.0 ** (-rng.integers(0, 5, 500).astype(float))
+    bins = hierarchical_bins(dts, 2e-3)
+    levels, fracs = hierarchical_update_fractions(dts, 2e-3)
+    for lv, fr in zip(levels, fracs):
+        assert fr == pytest.approx(np.mean(bins == lv))

@@ -1,0 +1,108 @@
+"""Cell-linked-list neighbor search vs brute force and scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.spatial import cKDTree
+
+from repro.sph.neighbors import NeighborGrid, neighbor_counts, neighbor_pairs
+
+
+def _brute_pairs(pos, radius, mode):
+    r_arr = np.broadcast_to(np.asarray(radius, dtype=float), (len(pos),))
+    d = np.linalg.norm(pos[:, None, :] - pos[None, :, :], axis=2)
+    if mode == "gather":
+        keep = d < r_arr[:, None]
+    else:
+        keep = d < np.maximum(r_arr[:, None], r_arr[None, :])
+    return {(i, j) for i, j in zip(*np.nonzero(keep))}
+
+
+@pytest.mark.parametrize("mode", ["gather", "symmetric"])
+def test_matches_brute_force_fixed_radius(rng, mode):
+    pos = rng.uniform(0, 10, (200, 3))
+    i, j, r = neighbor_pairs(pos, 1.3, mode=mode, include_self=True)
+    got = set(zip(i.tolist(), j.tolist()))
+    assert got == _brute_pairs(pos, 1.3, mode)
+
+
+@pytest.mark.parametrize("mode", ["gather", "symmetric"])
+def test_matches_brute_force_variable_radius(rng, mode):
+    pos = rng.uniform(0, 10, (150, 3))
+    radius = rng.uniform(0.5, 2.0, 150)
+    i, j, _ = neighbor_pairs(pos, radius, mode=mode, include_self=True)
+    got = set(zip(i.tolist(), j.tolist()))
+    assert got == _brute_pairs(pos, radius, mode)
+
+
+def test_matches_scipy_kdtree(rng):
+    pos = rng.uniform(0, 20, (500, 3))
+    radius = 2.1
+    i, j, _ = neighbor_pairs(pos, radius, mode="gather", include_self=True)
+    tree = cKDTree(pos)
+    ref_counts = np.array([len(x) for x in tree.query_ball_point(pos, radius)])
+    # cKDTree uses <=; we use <. Perturbed random data has no exact ties.
+    counts = np.bincount(i, minlength=len(pos))
+    assert np.array_equal(counts, ref_counts)
+
+
+def test_distances_returned_correctly(rng):
+    pos = rng.uniform(0, 5, (80, 3))
+    i, j, r = neighbor_pairs(pos, 1.0, include_self=False)
+    ref = np.linalg.norm(pos[i] - pos[j], axis=1)
+    assert np.allclose(r, ref)
+    assert np.all(r < 1.0)
+    assert np.all(r > 0.0)
+
+
+def test_include_self_toggle(rng):
+    pos = rng.uniform(0, 5, (50, 3))
+    i1, j1, _ = neighbor_pairs(pos, 1.0, include_self=True)
+    i0, j0, _ = neighbor_pairs(pos, 1.0, include_self=False)
+    assert np.sum(i1 == j1) == 50
+    assert np.sum(i0 == j0) == 0
+    assert len(i1) == len(i0) + 50
+
+
+def test_symmetric_mode_is_symmetric(rng):
+    pos = rng.uniform(0, 8, (120, 3))
+    radius = rng.uniform(0.3, 2.5, 120)
+    i, j, _ = neighbor_pairs(pos, radius, mode="symmetric", include_self=False)
+    pairs = set(zip(i.tolist(), j.tolist()))
+    assert all((j_, i_) in pairs for i_, j_ in pairs)
+
+
+def test_neighbor_counts(rng):
+    pos = rng.uniform(0, 6, (100, 3))
+    counts = neighbor_counts(pos, 1.5)
+    d = np.linalg.norm(pos[:, None] - pos[None, :], axis=2)
+    assert np.array_equal(counts, (d < 1.5).sum(axis=1))
+
+
+def test_zero_radius_rejected():
+    with pytest.raises(ValueError):
+        neighbor_pairs(np.zeros((3, 3)), 0.0)
+
+
+def test_grid_handles_single_point():
+    i, j, r = neighbor_pairs(np.array([[1.0, 2.0, 3.0]]), 1.0)
+    assert list(i) == [0] and list(j) == [0] and r[0] == 0.0
+
+
+def test_candidate_pairs_superset_of_true_pairs(rng):
+    pos = rng.uniform(0, 10, (100, 3))
+    grid = NeighborGrid.build(pos, 1.0)
+    ci, cj = grid.candidate_pairs(pos)
+    cand = set(zip(ci.tolist(), cj.tolist()))
+    true = _brute_pairs(pos, 1.0, "gather")
+    assert true <= cand
+
+
+@given(st.integers(2, 60), st.floats(0.3, 3.0), st.integers(0, 50))
+@settings(max_examples=25, deadline=None)
+def test_pair_count_property(n, radius, seed):
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0, 5, (n, 3))
+    i, j, _ = neighbor_pairs(pos, radius, mode="gather", include_self=True)
+    assert len(i) == len(_brute_pairs(pos, radius, "gather"))

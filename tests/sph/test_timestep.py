@@ -1,0 +1,76 @@
+"""Timestep criteria: CFL scale, mass scaling, hierarchical bins."""
+
+import numpy as np
+import pytest
+
+from repro.sph.timestep import (
+    acceleration_timestep,
+    cfl_timestep,
+    dynamical_time,
+    global_timestep,
+    hierarchical_bins,
+    timestep_mass_scaling,
+)
+from repro.util.constants import KM_PER_S, temperature_to_internal_energy, sound_speed
+
+
+def test_cfl_basic_scaling():
+    dt = cfl_timestep(np.array([2.0]), np.array([10.0]), courant=0.3)
+    assert dt[0] == pytest.approx(0.06)
+
+
+def test_sn_region_timestep_is_about_100_years():
+    # The paper's headline number (Sec. 1): ~1 M_sun resolution gas with
+    # SN sound speeds of ~1000 km/s needs dt ~ O(100) yr.
+    # At 1 M_sun and n_H ~ 1 cm^-3, h ~ a few pc for ~100 neighbors.
+    cs = 1000.0 / KM_PER_S          # 1000 km/s in pc/Myr
+    h = 3.0                          # pc
+    dt_myr = cfl_timestep(np.array([h]), np.array([cs]), courant=0.1)[0]
+    dt_yr = dt_myr * 1e6
+    assert 50.0 < dt_yr < 1000.0
+
+
+def test_cold_disk_timestep_is_much_longer():
+    u_cold = temperature_to_internal_energy(100.0)
+    cs = sound_speed(u_cold)
+    dt_cold = cfl_timestep(np.array([3.0]), np.array([cs]), courant=0.1)[0]
+    u_hot = temperature_to_internal_energy(1e7)
+    dt_hot = cfl_timestep(np.array([3.0]), np.array([sound_speed(u_hot)]), courant=0.1)[0]
+    assert dt_cold > 100.0 * dt_hot
+
+
+def test_global_timestep_is_min():
+    dts = np.array([0.5, 0.01, 3.0])
+    assert global_timestep(dts) == pytest.approx(0.01)
+    assert global_timestep(dts, dt_max=0.005) == pytest.approx(0.005)
+    assert global_timestep(np.array([]), dt_max=1.0) == 1.0
+
+
+def test_hierarchical_bins_power_of_two():
+    dt_base = 1.0
+    dts = np.array([1.0, 0.6, 0.3, 0.24, 0.01])
+    bins = hierarchical_bins(dts, dt_base)
+    assert list(bins) == [0, 1, 2, 3, 7]
+    # Every particle's bin step must not exceed its own dt.
+    assert np.all(dt_base / 2.0**bins <= dts + 1e-12)
+
+
+def test_mass_scaling_five_sixths():
+    # Refining resolution 100x shrinks dt by 100^(5/6) ~ 46x.
+    dt = timestep_mass_scaling(m_ref=100.0, dt_ref=1.0, m_new=1.0)
+    assert dt == pytest.approx(100.0 ** (-5.0 / 6.0), rel=1e-12)
+    assert 1.0 / dt == pytest.approx(46.4, rel=0.01)
+
+
+def test_acceleration_timestep_positive():
+    dt = acceleration_timestep(np.array([1.0, 2.0]), np.array([[1.0, 0, 0], [0, 4.0, 0]]))
+    assert np.all(dt > 0)
+    assert dt[0] > dt[1] * np.sqrt(1.0 / 2.0) - 1e-12
+
+
+def test_dynamical_time_scaling():
+    td1 = dynamical_time(np.array([1.0]))[0]
+    td4 = dynamical_time(np.array([4.0]))[0]
+    assert td1 / td4 == pytest.approx(2.0)
+    # ~50 Myr at 1 M_sun/pc^3? t_dyn = sqrt(3 pi /(32 G rho)):
+    assert td1 == pytest.approx(np.sqrt(3 * np.pi / (32 * 4.4985e-3)), rel=1e-3)

@@ -1,0 +1,95 @@
+"""Particle -> voxel mapping: Shepard exactness, density, region extraction."""
+
+import numpy as np
+import pytest
+
+from repro.fdps.particles import ParticleType
+from repro.surrogate.voxelize import FIELD_NAMES, extract_region, voxelize_particles
+from repro.util.constants import internal_energy_to_temperature
+
+
+def test_field_order():
+    assert FIELD_NAMES == ("density", "temperature", "vx", "vy", "vz")
+
+
+def test_shapes(uniform_gas_ps):
+    grid = voxelize_particles(uniform_gas_ps, np.zeros(3), 60.0, n_grid=8)
+    assert grid.fields.shape == (5, 8, 8, 8)
+    assert grid.cell == pytest.approx(7.5)
+
+
+def test_shepard_reproduces_constant_fields(uniform_gas_ps):
+    ps = uniform_gas_ps.copy()
+    ps.vel[:] = np.array([3.0, -2.0, 0.5])
+    grid = voxelize_particles(ps, np.zeros(3), 60.0, n_grid=8)
+    assert np.allclose(grid.field("vx"), 3.0, atol=1e-9)
+    assert np.allclose(grid.field("vy"), -2.0, atol=1e-9)
+    assert np.allclose(grid.field("vz"), 0.5, atol=1e-9)
+    t_expect = internal_energy_to_temperature(25.0)
+    assert np.allclose(grid.field("temperature"), t_expect, rtol=1e-6)
+
+
+def test_density_close_to_mean(uniform_gas_ps):
+    # 12^3 particles of 1 M_sun in a (60 pc)^3 box: mean rho = 1728/216000.
+    grid = voxelize_particles(uniform_gas_ps, np.zeros(3), 60.0, n_grid=8)
+    rho = grid.field("density")
+    mean_rho = uniform_gas_ps.total_mass() / 60.0**3
+    core = rho[2:-2, 2:-2, 2:-2]
+    assert np.median(core) == pytest.approx(mean_rho, rel=0.25)
+
+
+def test_total_deposited_mass(uniform_gas_ps):
+    # Sum of rho * cell volume ~ total mass (edges lose a little kernel).
+    grid = voxelize_particles(uniform_gas_ps, np.zeros(3), 60.0, n_grid=16)
+    deposited = grid.field("density").sum() * grid.cell**3
+    assert deposited == pytest.approx(uniform_gas_ps.total_mass(), rel=0.15)
+
+
+def test_hot_spot_appears_in_temperature(uniform_gas_ps):
+    ps = uniform_gas_ps.copy()
+    r = np.linalg.norm(ps.pos, axis=1)
+    ps.u[r < 10] = 2.5e4  # hot centre
+    grid = voxelize_particles(ps, np.zeros(3), 60.0, n_grid=8)
+    t = grid.field("temperature")
+    assert t[4, 4, 4] > 5.0 * t[0, 0, 0]
+
+
+def test_ignores_non_gas(uniform_gas_ps):
+    ps = uniform_gas_ps.copy()
+    ps.ptype[:100] = int(ParticleType.STAR)
+    grid_all = voxelize_particles(uniform_gas_ps, np.zeros(3), 60.0, n_grid=8)
+    grid_gas = voxelize_particles(ps, np.zeros(3), 60.0, n_grid=8)
+    assert grid_gas.field("density").sum() < grid_all.field("density").sum()
+
+
+def test_voxel_radii(uniform_gas_ps):
+    grid = voxelize_particles(uniform_gas_ps, np.zeros(3), 60.0, n_grid=8)
+    r = grid.voxel_radii()
+    assert r.shape == (8, 8, 8)
+    assert r.min() > 0
+    corner = np.sqrt(3) * (30.0 - grid.cell / 2)
+    assert r.max() == pytest.approx(corner, rel=1e-9)
+
+
+def test_empty_region_falls_back_to_nearest(uniform_gas_ps):
+    # Voxelize a box offset from the particles: no kernel coverage on the
+    # far side, but the fields must still be finite everywhere.
+    grid = voxelize_particles(uniform_gas_ps, np.array([50.0, 0.0, 0.0]), 60.0, n_grid=8)
+    assert np.all(np.isfinite(grid.fields))
+
+
+def test_extract_region(uniform_gas_ps):
+    region, idx = extract_region(uniform_gas_ps, np.zeros(3), 20.0)
+    assert len(region) == len(idx)
+    assert len(region) > 0
+    assert np.all(np.abs(region.pos) <= 10.0 + 1e-12)
+    # Region is a copy: mutating it leaves the parent untouched.
+    region.u[:] = 999.0
+    assert not np.any(uniform_gas_ps.u == 999.0)
+
+
+def test_extract_region_gas_only(uniform_gas_ps):
+    ps = uniform_gas_ps.copy()
+    ps.ptype[0] = int(ParticleType.STAR)
+    region, _ = extract_region(ps, ps.pos[0], 20.0)
+    assert not np.any(region.pid == ps.pid[0])

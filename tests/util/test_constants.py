@@ -1,0 +1,67 @@
+"""Unit-system sanity: the constants must match their CGS derivations."""
+
+import numpy as np
+import pytest
+
+from repro.util import constants as C
+
+
+def test_grav_const_value():
+    # G = 4.4985e-3 pc^3 / (M_sun Myr^2), standard galactic-dynamics value.
+    assert C.GRAV_CONST == pytest.approx(4.4985e-3, rel=1e-3)
+
+
+def test_velocity_unit_is_about_one_km_s():
+    assert C.KM_PER_S == pytest.approx(0.9778, rel=1e-3)
+
+
+def test_sn_energy_in_code_units():
+    # 1e51 erg ~ 5.3e7 M_sun (pc/Myr)^2: spreading it over 1 M_sun gives
+    # ejecta speeds of ~1e4 pc/Myr ~ 1e4 km/s, the right SN scale.
+    assert C.SN_ENERGY == pytest.approx(5.26e7, rel=0.01)
+
+
+def test_temperature_energy_roundtrip_scalar():
+    for t in (10.0, 1e4, 1e7):
+        u = C.temperature_to_internal_energy(t)
+        t_back = C.internal_energy_to_temperature(u)
+        assert t_back == pytest.approx(t, rel=0.05)
+
+
+def test_temperature_energy_roundtrip_array():
+    t = np.logspace(1, 7, 50)
+    u = C.temperature_to_internal_energy(t)
+    back = C.internal_energy_to_temperature(u)
+    assert np.allclose(back, t, rtol=0.05)
+
+
+def test_internal_energy_monotone_in_temperature():
+    t = np.logspace(1, 8, 200)
+    u = C.temperature_to_internal_energy(t)
+    assert np.all(np.diff(u) > 0)
+
+
+def test_sound_speed_of_warm_gas():
+    # 1e4 K neutral gas: c_s ~ 10 km/s ~ 10 pc/Myr.
+    u = C.temperature_to_internal_energy(1.0e4)
+    cs = C.sound_speed(u)
+    assert 5.0 < cs < 20.0
+
+
+def test_sn_region_sound_speed_matches_paper():
+    # The paper quotes ~1000 km/s sound speed in SN-heated gas (~1e7 K+).
+    u = C.temperature_to_internal_energy(7.0e7)
+    cs_km_s = C.sound_speed(u) * C.KM_PER_S
+    assert 800.0 < cs_km_s < 2000.0
+
+
+def test_mean_molecular_weight_limits():
+    assert C.mean_molecular_weight(10.0) == pytest.approx(C.MU_NEUTRAL)
+    assert C.mean_molecular_weight(1e6) == pytest.approx(C.MU_IONIZED)
+    mid = C.mean_molecular_weight(10 ** 4.25)
+    assert C.MU_IONIZED < mid < C.MU_NEUTRAL
+
+
+def test_density_to_nh_order_of_magnitude():
+    # 1 M_sun/pc^3 ~ 30 H atoms / cm^3 (for X_H = 0.76).
+    assert C.DENSITY_TO_NH == pytest.approx(30.0, rel=0.15)
