@@ -13,7 +13,6 @@ from benchmarks.conftest import fmt_table
 from repro.analysis.maps import column_density_map
 from repro.core.integrator import IntegratorConfig
 from repro.core.simulation import GalaxySimulation
-from repro.ic.galaxy import make_mw_mini
 
 
 def _run():

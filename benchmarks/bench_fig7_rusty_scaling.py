@@ -6,7 +6,6 @@ of particles in the full system run on Fugaku" (Sec. 5.2.4).  Strong: the
 strongMW_rusty and strongMWs_rusty series of Table 2.
 """
 
-import numpy as np
 
 from benchmarks.conftest import fmt_table
 from repro.data.runs import run_by_name

@@ -10,7 +10,6 @@ Three parts:
    untenable at 1 M_sun.
 """
 
-import numpy as np
 
 from benchmarks.conftest import fmt_table
 from repro.core.conventional import ConventionalIntegrator

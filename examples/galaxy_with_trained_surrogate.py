@@ -11,7 +11,6 @@ This is the complete ASURA-FDPS-ML loop of the paper in one script:
 Run:  python examples/galaxy_with_trained_surrogate.py
 """
 
-import numpy as np
 
 from repro.core.simulation import GalaxySimulation
 from repro.core.integrator import IntegratorConfig

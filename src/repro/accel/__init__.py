@@ -1,0 +1,46 @@
+"""Shared spatial-acceleration service: cached grids, octrees, force pipeline.
+
+The paper's performance story (Sec. 5.2) hinges on never paying for the same
+spatial structure twice in one step: a single tree build serves the force
+walk and the LET export, and one neighbor binning serves every kernel-size
+sweep.  This package is that seam for the reproduction — and the future
+home for pluggable kernel backends (numba/GPU) and index-aware sharding.
+
+Caching / invalidation contract
+-------------------------------
+
+:class:`SpatialIndex` owns one reusable cell-linked
+:class:`~repro.sph.neighbors.NeighborGrid` and one cached
+:class:`~repro.fdps.tree.Octree`.  Because checking array *contents* would
+cost as much as rebuilding, validity is explicit:
+
+* The owner MUST call :meth:`SpatialIndex.invalidate_positions` whenever any
+  coordinate it previously indexed changes (drift kicks, SN-region particle
+  replacement), and :meth:`SpatialIndex.invalidate_all` whenever membership
+  changes (star formation, domain exchange).  Pure internal-energy or
+  velocity updates require no invalidation.
+* Accessors (:meth:`SpatialIndex.grid_for`, :meth:`SpatialIndex.tree_for`)
+  additionally verify cheap structural facts — particle count, cell-size
+  coverage of the requested search radius, scope identity — and rebuild
+  (never silently return a stale structure) when they fail.
+* :attr:`SpatialIndex.stats` counts builds vs reuses; the steady-state
+  integrator step performs at most one grid build per density solve and at
+  most one tree build per step (asserted by the tier-1 tests and recorded
+  by ``benchmarks/bench_accel_reuse.py``).
+
+:class:`ForceEngine` layers the per-step force pipeline on top: persistent
+work buffers, one full gravity + density + hydro pass
+(:meth:`ForceEngine.gravity` / :meth:`ForceEngine.hydro`), and the step-7
+fast path (:meth:`ForceEngine.refresh_hydro`) that re-evaluates hydro on the
+cached pair lists after cooling/feedback changed ``u`` and kicks changed
+``v`` — positions and kernel sizes being untouched, the result is identical
+to a cold recompute whose h solve converges on its first sweep.  Owners
+signal state changes through :meth:`ForceEngine.notify_positions_changed`
+and :meth:`ForceEngine.notify_membership_changed`, which forward to the
+index and drop the pair-list cache.
+"""
+
+from repro.accel.engine import ForceEngine
+from repro.accel.index import IndexStats, SpatialIndex
+
+__all__ = ["ForceEngine", "IndexStats", "SpatialIndex"]

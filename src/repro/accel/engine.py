@@ -1,0 +1,234 @@
+"""The per-step force pipeline: gravity + density + hydro behind one owner.
+
+The engine owns a :class:`SpatialIndex` (cached neighbor grid + octree), the
+persistent full-particle work buffers, and the cached per-step hydro state
+(density result + half-pair edge list) that enables the step-7 fast path:
+after cooling/feedback changed only ``u`` (and kicks changed ``v``), hydro
+forces are re-evaluated on the *cached* pair lists — no neighbor search, no
+h iteration, no grid or tree build.
+
+See :mod:`repro.accel` for the invalidation contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accel.index import SpatialIndex
+from repro.fdps.interaction import InteractionCounter
+from repro.fdps.particles import ParticleSet, ParticleType
+from repro.gravity.kernels import accel_direct
+from repro.gravity.treegrav import tree_accel
+from repro.sph.density import DensityResult, compute_density, refresh_velocity_fields
+from repro.sph.eos import pressure, sound_speed_from_density
+from repro.sph.forces import compute_hydro_forces
+from repro.util.timers import TimerRegistry
+
+
+@dataclass
+class _HydroCache:
+    """Everything needed to re-evaluate hydro without a neighbor search."""
+
+    n_total: int                 # particle count the cache was built for
+    gas: np.ndarray              # global indices of the gas particles
+    density: DensityResult       # final h / dens / omega + gather pair list
+    force_pairs: tuple[np.ndarray, np.ndarray, np.ndarray]  # half pairs (i, j, r)
+
+
+class ForceEngine:
+    """Owns gravity + density + hydro evaluation with shared spatial caches.
+
+    ``cfg`` is any object carrying the integrator's numerical switches
+    (``theta``, ``n_g``, ``leaf_size``, ``n_ngb``, ``direct_gravity_below``,
+    ``mixed_precision``) — kept duck-typed so :mod:`repro.core` can pass its
+    ``IntegratorConfig`` without an import cycle.
+    """
+
+    def __init__(
+        self,
+        cfg,
+        timers: TimerRegistry | None = None,
+        counter: InteractionCounter | None = None,
+    ) -> None:
+        self.cfg = cfg
+        self.timers = timers or TimerRegistry()
+        self.counter = counter
+        self.index = SpatialIndex()
+        self._hydro_cache: _HydroCache | None = None
+        self._buffers_n = -1
+        self._acc_buf: np.ndarray | None = None
+        self._du_buf: np.ndarray | None = None
+        self._vsig_buf: np.ndarray | None = None
+
+    # ---------------------------------------------------------- invalidation
+    def notify_positions_changed(self) -> None:
+        """Coordinates moved (drift, SN-region replacement): spatial caches
+        and pair lists are stale."""
+        self.index.invalidate_positions()
+        self._hydro_cache = None
+
+    def notify_membership_changed(self) -> None:
+        """Particles appeared/vanished/reordered (star formation, exchange)."""
+        self.index.invalidate_all()
+        self._hydro_cache = None
+
+    @property
+    def fast_path_available(self) -> bool:
+        return self._hydro_cache is not None
+
+    # -------------------------------------------------------------- buffers
+    def _full_buffers(self, n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Persistent (acc, du, vsig) work buffers, zeroed for this call."""
+        if n != self._buffers_n:
+            self._acc_buf = np.zeros((n, 3))
+            self._du_buf = np.zeros(n)
+            self._vsig_buf = np.zeros(n)
+            self._buffers_n = n
+        else:
+            self._acc_buf.fill(0.0)
+            self._du_buf.fill(0.0)
+            self._vsig_buf.fill(0.0)
+        return self._acc_buf, self._du_buf, self._vsig_buf
+
+    # -------------------------------------------------------------- gravity
+    def gravity(self, ps: ParticleSet, label: str) -> np.ndarray:
+        """Self-gravity on all particles; at most one octree build per call
+        (and zero when the cached tree is still valid)."""
+        cfg = self.cfg
+        with self.timers.measure(f"{label} Calc_Force"):
+            if len(ps) <= cfg.direct_gravity_below:
+                return accel_direct(ps.pos, ps.mass, ps.eps, counter=self.counter)
+            tree = self.index.tree_for(ps.pos, ps.mass, leaf_size=cfg.leaf_size)
+            res = tree_accel(
+                ps.pos,
+                ps.mass,
+                ps.eps,
+                theta=cfg.theta,
+                n_g=cfg.n_g,
+                leaf_size=cfg.leaf_size,
+                counter=self.counter,
+                mixed_precision=cfg.mixed_precision,
+                tree=tree,
+            )
+            return res.acc
+
+
+    # ---------------------------------------------------------------- hydro
+    def hydro(self, ps: ParticleSet, label: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Full density + hydro-force pass on the gas.
+
+        Returns (acc, du_dt, vsig) scattered to full-particle arrays,
+        refreshes the gas SPH fields on ``ps``, and primes the fast-path
+        cache (grid, gather pairs, half force pairs).
+
+        The returned arrays are the engine's *persistent work buffers*:
+        they are overwritten in place by the next :meth:`hydro` /
+        :meth:`refresh_hydro` call.  ``.copy()`` them to retain a pass's
+        values beyond that.
+        """
+        cfg = self.cfg
+        gas = np.flatnonzero(ps.where_type(ParticleType.GAS))
+        acc, du, vsig = self._full_buffers(len(ps))
+        if gas.size < 2:
+            self._hydro_cache = None
+            return acc, du, vsig
+        pos_g, vel_g, mass_g = ps.pos[gas], ps.vel[gas], ps.mass[gas]
+        with self.timers.measure(f"{label} Calc_Kernel_Size_and_Density"):
+            d = compute_density(
+                pos_g,
+                vel_g,
+                mass_g,
+                ps.u[gas],
+                ps.h[gas],
+                n_ngb=min(cfg.n_ngb, max(gas.size - 1, 1)),
+                counter=self.counter,
+                index=self.index,
+            )
+            # Register the gas scope so box queries (SN region extraction)
+            # can answer through the same grid.
+            self.index.set_grid_scope(gas)
+        self._write_gas_fields(ps, gas, d.h, d.dens, d.pres, d.csnd, d.divv, d.curlv, d.omega)
+        with self.timers.measure(f"{label} Calc_Hydro_Force"):
+            f = compute_hydro_forces(
+                pos_g,
+                vel_g,
+                mass_g,
+                d.h,
+                d.dens,
+                d.pres,
+                d.csnd,
+                omega=d.omega,
+                divv=d.divv,
+                curlv=d.curlv,
+                counter=self.counter,
+                grid=d.grid,
+            )
+        acc[gas] = f.acc
+        du[gas] = f.du_dt
+        vsig[gas] = f.v_signal
+        if d.grid is not None:
+            # The raw candidate list (the step's largest transient) has
+            # served every sweep and the force pass; only the compacted
+            # pair lists below are needed for the fast path.
+            d.grid.release_pairs()
+        self._hydro_cache = _HydroCache(
+            n_total=len(ps), gas=gas, density=d, force_pairs=f.pairs
+        )
+        return acc, du, vsig
+
+    def refresh_hydro(
+        self, ps: ParticleSet, label: str
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """Step-7 fast path: re-evaluate hydro after energy/velocity changes
+        at *unchanged positions and kernel sizes*.
+
+        Reuses the cached gather and half-pair edge lists — equivalent to a
+        cold :meth:`hydro` call (the h solve would converge on its first
+        sweep and return identical pairs) at a fraction of the cost.
+        Returns ``None`` when no valid cache exists (positions or membership
+        changed since the last full pass): the caller must fall back to
+        :meth:`hydro`.  Like :meth:`hydro`, the returned arrays are the
+        engine's persistent buffers — valid until the next pass.
+        """
+        cache = self._hydro_cache
+        if cache is None or cache.n_total != len(ps):
+            return None
+        gas, d = cache.gas, cache.density
+        pos_g, vel_g, mass_g = ps.pos[gas], ps.vel[gas], ps.mass[gas]
+        acc, du, vsig = self._full_buffers(len(ps))
+        with self.timers.measure(f"{label} Calc_Kernel_Size_and_Density"):
+            pres = pressure(d.dens, ps.u[gas])
+            csnd = sound_speed_from_density(d.dens, pres)
+            divv, curlv = refresh_velocity_fields(d, pos_g, vel_g, mass_g)
+        self._write_gas_fields(ps, gas, d.h, d.dens, pres, csnd, divv, curlv, d.omega)
+        with self.timers.measure(f"{label} Calc_Hydro_Force"):
+            f = compute_hydro_forces(
+                pos_g,
+                vel_g,
+                mass_g,
+                d.h,
+                d.dens,
+                pres,
+                csnd,
+                omega=d.omega,
+                divv=divv,
+                curlv=curlv,
+                counter=self.counter,
+                pairs=cache.force_pairs,
+            )
+        acc[gas] = f.acc
+        du[gas] = f.du_dt
+        vsig[gas] = f.v_signal
+        return acc, du, vsig
+
+    @staticmethod
+    def _write_gas_fields(ps, gas, h, dens, pres, csnd, divv, curlv, omega) -> None:
+        ps.h[gas] = h
+        ps.dens[gas] = dens
+        ps.pres[gas] = pres
+        ps.csnd[gas] = csnd
+        ps.divv[gas] = divv
+        ps.curlv[gas] = curlv
+        ps.fgrad[gas] = omega

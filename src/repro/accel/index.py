@@ -1,0 +1,158 @@
+"""Shared spatial index: cached neighbor grid + octree with explicit invalidation.
+
+See :mod:`repro.accel` for the caching/invalidation contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fdps.tree import Octree
+from repro.sph.neighbors import NeighborGrid
+
+
+@dataclass
+class IndexStats:
+    """Build/reuse counters — the instrumentation the reuse benchmark records."""
+
+    grid_builds: int = 0
+    grid_reuses: int = 0
+    tree_builds: int = 0
+    tree_reuses: int = 0
+
+    def reset(self) -> None:
+        self.grid_builds = self.grid_reuses = 0
+        self.tree_builds = self.tree_reuses = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "grid_builds": self.grid_builds,
+            "grid_reuses": self.grid_reuses,
+            "tree_builds": self.tree_builds,
+            "tree_reuses": self.tree_reuses,
+        }
+
+
+@dataclass
+class SpatialIndex:
+    """Owns one reusable :class:`NeighborGrid` and one cached :class:`Octree`.
+
+    The index never inspects array *contents* to decide validity — that would
+    cost as much as rebuilding.  Validity is driven by the owner through
+    :meth:`invalidate_positions` / :meth:`invalidate_all` plus cheap
+    structural checks (particle count, cell-size coverage, scope identity).
+    """
+
+    stats: IndexStats = field(default_factory=IndexStats)
+    _grid: NeighborGrid | None = field(default=None, repr=False)
+    _grid_scope: np.ndarray | None = field(default=None, repr=False)
+    _tree: Octree | None = field(default=None, repr=False)
+
+    # -------------------------------------------------------------- validity
+    def invalidate_positions(self) -> None:
+        """Any indexed coordinate changed: both structures are stale."""
+        self._grid = None
+        self._grid_scope = None
+        self._tree = None
+
+    def invalidate_all(self) -> None:
+        """Membership changed (particles added/removed/reordered)."""
+        self.invalidate_positions()
+
+    @property
+    def has_grid(self) -> bool:
+        return self._grid is not None
+
+    @property
+    def has_tree(self) -> bool:
+        return self._tree is not None
+
+    # ------------------------------------------------------------------ grid
+    def grid_for(
+        self,
+        pos: np.ndarray,
+        radius: float,
+        scope: np.ndarray | None = None,
+    ) -> NeighborGrid:
+        """The cached grid if it still answers a ``radius`` search over these
+        points, else a fresh build (which becomes the new cache entry).
+
+        ``scope`` identifies the subset of a larger particle set the grid
+        covers (e.g. global indices of the gas); box queries report indices
+        through it.  A cached grid is reused only for an equal scope.
+        """
+        g = self._grid
+        if (
+            g is not None
+            and g.n_points == len(pos)
+            and g.covers(radius)
+            and _same_scope(self._grid_scope, scope)
+        ):
+            self.stats.grid_reuses += 1
+            return g
+        g = NeighborGrid.build(pos, float(radius))
+        self.stats.grid_builds += 1
+        self._grid = g
+        self._grid_scope = None if scope is None else np.asarray(scope)
+        return g
+
+    def set_grid_scope(self, scope: np.ndarray | None) -> None:
+        """Attach subset indices to the cached grid without rebuilding: the
+        grid's points are ``pos[scope]`` of a larger particle set, and box
+        queries will report indices into that larger set."""
+        self._grid_scope = None if scope is None else np.asarray(scope)
+
+    def query_box(self, box_lo: np.ndarray, box_hi: np.ndarray) -> np.ndarray | None:
+        """Indices of cached-grid points inside [box_lo, box_hi] (inclusive),
+        mapped through the grid's scope; ``None`` when no grid is cached (the
+        caller falls back to a full scan)."""
+        if self._grid is None:
+            return None
+        local = self._grid.points_in_box(box_lo, box_hi)
+        if self._grid_scope is None:
+            return local
+        return self._grid_scope[local]
+
+    # ------------------------------------------------------------------ tree
+    def tree_for(self, pos: np.ndarray, mass: np.ndarray, leaf_size: int = 16) -> Octree:
+        """The cached octree when still valid for these particles, else a
+        fresh build (cached for subsequent calls)."""
+        t = self._tree
+        if t is not None and t.n_particles == len(pos) and t.leaf_size == leaf_size:
+            self.stats.tree_reuses += 1
+            return t
+        t = Octree.build(pos, mass, leaf_size=leaf_size)
+        self.stats.tree_builds += 1
+        self._tree = t
+        return t
+
+    def stratified_sample(self, n_sample: int, n_total: int) -> np.ndarray | None:
+        """Spatially stratified subsample: every k-th particle of a cached
+        space-filling order (octree Morton order, else the grid's cell-sorted
+        order).  ``None`` when nothing valid is cached for ``n_total`` points
+        — the caller falls back to random sampling.
+        """
+        order = None
+        if self._tree is not None and self._tree.n_particles == n_total:
+            order = self._tree.order
+        elif (
+            self._grid is not None
+            and self._grid_scope is None
+            and self._grid.n_points == n_total
+        ):
+            order = self._grid.order
+        if order is None or n_sample >= n_total:
+            return None
+        # Evenly spaced positions along the whole curve — a plain stride
+        # would truncate the tail whenever n_total/n_sample isn't integral,
+        # spatially biasing the sample toward the curve's start.
+        pick = np.linspace(0, n_total - 1, n_sample).astype(np.int64)
+        return order[pick]
+
+
+def _same_scope(a: np.ndarray | None, b: np.ndarray | None) -> bool:
+    if a is None or b is None:
+        return a is None and b is None
+    return len(a) == len(b) and (a is b or bool(np.array_equal(a, b)))

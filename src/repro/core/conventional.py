@@ -81,7 +81,7 @@ class ConventionalIntegrator(BaseIntegrator):
         with self.timers.measure("Integration"):
             ps.vel += 0.5 * dt * self._acc
             ps.u[:] = np.maximum(ps.u + 0.5 * dt * self._du_dt, 1e-12)
-            ps.pos += dt * ps.vel
+            self._drift(dt)
         self.compute_forces("1st")
         with self.timers.measure("Final_kick"):
             ps.vel += 0.5 * dt * self._acc

@@ -9,7 +9,7 @@ later by default — the pool-count / latency relationship of Sec. 3.2:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

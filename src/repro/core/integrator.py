@@ -15,27 +15,31 @@
    changes;
 8. repeat.
 
+All spatial work goes through one :class:`repro.accel.ForceEngine`: a single
+tree build serves the gravity walk, one neighbor grid serves every
+kernel-size sweep, the hydro force pass, the SN-region extraction of step
+(2), and the decomposition sampling of step (5) — and step (7) re-evaluates
+hydro on the pair lists cached in step (3) (positions identical; only u and
+v changed) instead of paying a second full density solve.
+
 The timer labels match the breakdown categories of Fig. 6/Table 3 so the
 benchmarks can print the same rows the paper reports.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.accel import ForceEngine
 from repro.core.pool import PoolManager
 from repro.fdps.domain import DomainDecomposition, process_grid
 from repro.fdps.interaction import InteractionCounter
 from repro.fdps.particles import ParticleSet, ParticleType
-from repro.gravity.kernels import accel_direct
-from repro.gravity.treegrav import tree_accel
 from repro.physics.cooling import CoolingModel
 from repro.physics.star_formation import StarFormationModel
 from repro.physics.stellar import exploding_between
-from repro.sph.density import compute_density
-from repro.sph.forces import compute_hydro_forces
 from repro.sph.timestep import cfl_timestep
 from repro.surrogate.voxelize import extract_region
 from repro.util.timers import TimerRegistry
@@ -64,7 +68,7 @@ class IntegratorConfig:
 
 
 class BaseIntegrator:
-    """Force pipeline + physics operators shared by both schemes."""
+    """Physics operators around a shared :class:`ForceEngine` pipeline."""
 
     def __init__(
         self,
@@ -81,6 +85,7 @@ class BaseIntegrator:
         self.step_count = 0
         self.timers = TimerRegistry()
         self.counter = InteractionCounter()
+        self.engine = ForceEngine(self.cfg, timers=self.timers, counter=self.counter)
         self.rng = np.random.default_rng(self.cfg.seed)
         self.next_pid = int(ps.pid.max()) + 1 if len(ps) else 0
         self.n_sf_events = 0
@@ -98,69 +103,12 @@ class BaseIntegrator:
 
     # --------------------------------------------------------------- forces
     def _gravity(self, label: str) -> np.ndarray:
-        ps = self.ps
-        # Tree construction happens inside tree_accel and is timed jointly
-        # with the walk; the cost model splits them analytically instead.
-        with self.timers.measure(f"{label} Calc_Force"):
-            if len(ps) <= self.cfg.direct_gravity_below:
-                return accel_direct(ps.pos, ps.mass, ps.eps, counter=self.counter)
-            res = tree_accel(
-                ps.pos,
-                ps.mass,
-                ps.eps,
-                theta=self.cfg.theta,
-                n_g=self.cfg.n_g,
-                leaf_size=self.cfg.leaf_size,
-                counter=self.counter,
-                mixed_precision=self.cfg.mixed_precision,
-            )
-            return res.acc
+        return self.engine.gravity(self.ps, label)
 
     def _hydro(self, label: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Density + hydro forces on the gas; returns (acc, du_dt, vsig)
         scattered to full-particle arrays and refreshes the gas SPH fields."""
-        ps = self.ps
-        gas = np.flatnonzero(ps.where_type(ParticleType.GAS))
-        acc = np.zeros((len(ps), 3))
-        du = np.zeros(len(ps))
-        vsig = np.zeros(len(ps))
-        if gas.size < 2:
-            return acc, du, vsig
-        with self.timers.measure(f"{label} Calc_Kernel_Size_and_Density"):
-            d = compute_density(
-                ps.pos[gas],
-                ps.vel[gas],
-                ps.mass[gas],
-                ps.u[gas],
-                ps.h[gas],
-                n_ngb=min(self.cfg.n_ngb, max(gas.size - 1, 1)),
-                counter=self.counter,
-            )
-        ps.h[gas] = d.h
-        ps.dens[gas] = d.dens
-        ps.pres[gas] = d.pres
-        ps.csnd[gas] = d.csnd
-        ps.divv[gas] = d.divv
-        ps.curlv[gas] = d.curlv
-        ps.fgrad[gas] = d.omega
-        with self.timers.measure(f"{label} Calc_Hydro_Force"):
-            f = compute_hydro_forces(
-                ps.pos[gas],
-                ps.vel[gas],
-                ps.mass[gas],
-                d.h,
-                d.dens,
-                d.pres,
-                d.csnd,
-                omega=d.omega,
-                divv=d.divv,
-                curlv=d.curlv,
-                counter=self.counter,
-            )
-        acc[gas] = f.acc
-        du[gas] = f.du_dt
-        vsig[gas] = f.v_signal
-        return acc, du, vsig
+        return self.engine.hydro(self.ps, label)
 
     def compute_forces(self, label: str = "1st") -> None:
         """Full force evaluation; stores acc/du_dt/vsig for the kicks."""
@@ -171,8 +119,14 @@ class BaseIntegrator:
         self._hydro_acc, self._du_dt, self._vsig = self._hydro(label)
         self._first_forces_done = True
 
+    def _drift(self, dt: float) -> None:
+        """Advance positions; every spatial structure is now stale."""
+        self.ps.pos += dt * self.ps.vel
+        self.engine.notify_positions_changed()
+
     # -------------------------------------------------------------- operators
     def _apply_cooling(self, dt: float) -> None:
+        # Cooling only moves u: the spatial caches stay valid.
         if not self.cfg.enable_cooling:
             return
         ps = self.ps
@@ -200,6 +154,7 @@ class BaseIntegrator:
     def _replace_particle_set(self, new_ps: ParticleSet) -> None:
         """Swap in a set with different membership; force arrays re-size."""
         self.ps = new_ps
+        self.engine.notify_membership_changed()
         self._grav_acc = np.zeros((len(new_ps), 3))
         self._hydro_acc = np.zeros((len(new_ps), 3))
         self._du_dt = np.zeros(len(new_ps))
@@ -260,11 +215,15 @@ class SurrogateLeapfrog(BaseIntegrator):
             local = exploding_between(ps.tsn[stars], self.time, self.time + dt)
             exploding = stars[local]
 
-        # (2) ship each SN region to a pool node.
+        # (2) ship each SN region to a pool node.  The cube query runs on
+        # the engine's cached gas grid when one is valid (positions are
+        # unchanged since the last force pass), else it falls back to a scan.
         with self.timers.measure("Send_SNe"):
             for si in exploding:
                 center = ps.pos[si].copy()
-                region, _idx = extract_region(ps, center, cfg.region_side)
+                region, _idx = extract_region(
+                    ps, center, cfg.region_side, index=self.engine.index
+                )
                 self.pool.dispatch(
                     region, center, int(ps.pid[si]), float(ps.tsn[si]), self.step_count
                 )
@@ -277,7 +236,7 @@ class SurrogateLeapfrog(BaseIntegrator):
         with self.timers.measure("Integration"):
             ps.vel += 0.5 * dt * self._acc
             ps.u[:] = np.maximum(ps.u + 0.5 * dt * self._du_dt, 1e-12)
-            ps.pos += dt * ps.vel
+            self._drift(dt)
         self.compute_forces("1st")
         with self.timers.measure("Final_kick"):
             ps.vel += 0.5 * dt * self._acc
@@ -285,14 +244,20 @@ class SurrogateLeapfrog(BaseIntegrator):
 
         # (4) receive due predictions, replace by particle ID.
         with self.timers.measure("Receive_SNe"):
+            n_replaced = 0
             for _event, predicted in self.pool.collect(self.step_count):
-                self.ps.replace_by_pid(predicted)
+                n_replaced += self.ps.replace_by_pid(predicted)
+            if n_replaced:
+                # Predicted particles land with new coordinates.
+                self.engine.notify_positions_changed()
 
         # (5) domain decomposition / particle exchange bookkeeping.
         if cfg.n_domains > 1:
             with self.timers.measure("Exchange_Particle"):
                 grid = process_grid(cfg.n_domains)
-                self.decomp = DomainDecomposition.fit(self.ps.pos, grid, sample=20000)
+                self.decomp = DomainDecomposition.fit(
+                    self.ps.pos, grid, sample=20000, index=self.engine.index
+                )
 
         # (6) star formation and cooling.
         self._apply_star_formation(dt)
@@ -301,11 +266,17 @@ class SurrogateLeapfrog(BaseIntegrator):
         # (7) recompute hydro after the internal-energy changes.  The
         # gravity computed in (3) is at the current (post-drift) positions,
         # so the next first kick can reuse it; only the hydro state is stale
-        # once cooling/feedback touched u.  If star formation changed the
-        # particle membership, _replace_particle_set already flagged a full
-        # recompute for the next step and the refresh below re-sizes cleanly.
+        # once cooling/feedback touched u.  When positions are untouched
+        # since (3) the engine re-evaluates on the cached pair lists (no
+        # h solve, no neighbor search); if SN replacements moved particles
+        # it falls back to a full pass, and if star formation changed the
+        # membership _replace_particle_set already flagged a full recompute
+        # for the next step.
         if self._first_forces_done:
-            self._hydro_acc, self._du_dt, self._vsig = self._hydro("2nd")
+            refreshed = self.engine.refresh_hydro(self.ps, "2nd")
+            if refreshed is None:
+                refreshed = self._hydro("2nd")
+            self._hydro_acc, self._du_dt, self._vsig = refreshed
 
         self.time += dt
         self.step_count += 1

@@ -49,7 +49,7 @@ class PoolManager:
 
     _jobs: list[_PendingJob] = field(default_factory=list)
     _busy_until: dict[int, int] = field(default_factory=dict)
-    _rng: np.random.Generator = field(default=None)  # type: ignore[assignment]
+    _rng: np.random.Generator = field(init=False, repr=False)
     _next: int = 0
     events: list[SNEvent] = field(default_factory=list)
     n_overflow: int = 0  # SNe that had to wait for a free pool node

@@ -17,10 +17,6 @@ Example
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
 from repro.core.integrator import IntegratorConfig, SurrogateLeapfrog
 from repro.core.pool import PoolManager
 from repro.fdps.particles import ParticleSet

@@ -17,7 +17,7 @@ remote domain box, Sec. 5.2.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

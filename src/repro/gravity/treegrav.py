@@ -42,11 +42,15 @@ def tree_accel(
     extra_pos: np.ndarray | None = None,
     extra_mass: np.ndarray | None = None,
     g: float = GRAV_CONST,
+    tree: Octree | None = None,
 ) -> TreeGravityResult:
     """Tree acceleration on all particles.
 
     ``extra_pos/extra_mass`` inject imported LET matter (pseudo + boundary
     particles from remote ranks); they contribute force but receive none.
+    ``tree`` skips construction by supplying a prebuilt :class:`Octree` —
+    it must cover exactly the local + extra particles in that order (e.g.
+    the cached tree of a :class:`repro.accel.SpatialIndex`).
     """
     pos = np.asarray(pos, dtype=np.float64)
     mass = np.asarray(mass, dtype=np.float64)
@@ -58,7 +62,13 @@ def tree_accel(
     else:
         all_pos, all_mass, all_eps = pos, mass, eps
 
-    tree = Octree.build(all_pos, all_mass, leaf_size=leaf_size)
+    if tree is None:
+        tree = Octree.build(all_pos, all_mass, leaf_size=leaf_size)
+    elif tree.n_particles != len(all_pos):
+        raise ValueError(
+            f"prebuilt tree covers {tree.n_particles} particles, "
+            f"expected {len(all_pos)}"
+        )
     kernel = accel_between_mixed if mixed_precision else accel_between
 
     acc = np.zeros_like(pos)

@@ -10,7 +10,7 @@ masses by 1/10 and 1/100 (the paper's Model MW-small / MW-mini).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

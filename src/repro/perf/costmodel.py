@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.fdps.interaction import OPS_PER_INTERACTION
 from repro.perf.kernels import kernel_efficiency
-from repro.perf.machines import FUGAKU, MIYABI, RUSTY, Machine
+from repro.perf.machines import FUGAKU, Machine
 
 #: Paper Table 3 anchor: weakMW2M, 148,896 nodes (wall seconds / PFLOP).
 PAPER_TABLE3 = {

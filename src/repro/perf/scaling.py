@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.perf.costmodel import RunConfig, StepCostModel
-from repro.perf.machines import FUGAKU, Machine
+from repro.perf.machines import Machine
 from repro.sph.timestep import timestep_mass_scaling
 
 

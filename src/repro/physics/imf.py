@@ -9,7 +9,7 @@ exhausted (the conversion step of :mod:`repro.physics.star_formation`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

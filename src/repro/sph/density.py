@@ -23,7 +23,7 @@ import numpy as np
 from repro.fdps.interaction import InteractionCounter
 from repro.sph.eos import pressure, sound_speed_from_density
 from repro.sph.kernels import DEFAULT_KERNEL, SPHKernel
-from repro.sph.neighbors import neighbor_pairs
+from repro.sph.neighbors import NeighborGrid, neighbor_pairs
 
 
 @dataclass
@@ -39,6 +39,9 @@ class DensityResult:
     csnd: np.ndarray
     n_neighbors: np.ndarray
     iterations: int        # h-solve sweeps actually used
+    grid_builds: int = 0   # neighbor grids constructed during the solve
+    grid: NeighborGrid | None = None  # the grid of the final sweep (reusable)
+    pairs: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None  # gather (i, j, r)
 
 
 def compute_density(
@@ -52,12 +55,17 @@ def compute_density(
     max_iter: int = 10,
     tol: float = 0.05,
     counter: InteractionCounter | None = None,
+    index=None,
 ) -> DensityResult:
     """Solve for h and compute density and companion fields.
 
     ``tol`` is the acceptable relative deviation of the neighbor count from
     ``n_ngb``; with a good ``h_guess`` convergence takes ~2 sweeps (the
-    paper's observation), each sweep re-running the neighbor search.
+    paper's observation).  One :class:`NeighborGrid` is built on the first
+    sweep and reused by every subsequent one, rebinning only when ``max(h)``
+    outgrows the cell size; pass ``index`` (a
+    :class:`repro.accel.SpatialIndex`) to source the grid from a shared
+    cache instead.
     """
     pos = np.asarray(pos, dtype=np.float64)
     vel = np.asarray(vel, dtype=np.float64)
@@ -68,9 +76,17 @@ def compute_density(
     kernel_volume = 4.0 * np.pi / 3.0
     used_iter = 0
     i = j = r = None
+    grid: NeighborGrid | None = None
+    grid_builds = 0
     for it in range(max_iter):
         used_iter = it + 1
-        i, j, r = neighbor_pairs(pos, h, mode="gather", include_self=True)
+        h_max = float(h.max())
+        if index is not None:
+            grid = index.grid_for(pos, h_max)
+        elif grid is None or not grid.covers(h_max):
+            grid = NeighborGrid.build(pos, h_max)
+            grid_builds += 1
+        i, j, r = neighbor_pairs(pos, h, mode="gather", include_self=True, grid=grid)
         # Smoothed neighbor number: N(h) = (4 pi / 3) h^3 sum_j W(r_ij, h).
         # Unlike the discrete count this is continuous in h, so the
         # multiplicative fixed point converges instead of oscillating
@@ -98,19 +114,7 @@ def compute_density(
     omega = 1.0 + h / (3.0 * dens_safe) * drho_dh
     omega = np.clip(omega, 0.2, 5.0)  # guard against pathological geometry
 
-    # Velocity divergence / curl (standard SPH estimators).
-    gf = kernel.grad_factor(r, h[i])           # (1/r) dW/dr
-    dvec = pos[i] - pos[j]
-    vvec = vel[i] - vel[j]
-    # div v_i = -(1/rho_i) sum_j m_j (v_ij . r_ij) gf
-    vdotr = np.einsum("ij,ij->i", vvec, dvec)
-    divv = -np.bincount(i, weights=mass[j] * vdotr * gf, minlength=n) / dens_safe
-    # curl v_i = (1/rho_i) | sum_j m_j (v_ij x r_ij) gf |
-    cross = np.cross(vvec, dvec)
-    cx = np.bincount(i, weights=mass[j] * cross[:, 0] * gf, minlength=n)
-    cy = np.bincount(i, weights=mass[j] * cross[:, 1] * gf, minlength=n)
-    cz = np.bincount(i, weights=mass[j] * cross[:, 2] * gf, minlength=n)
-    curlv = np.sqrt(cx**2 + cy**2 + cz**2) / dens_safe
+    divv, curlv = _velocity_estimators((i, j, r), pos, vel, mass, h, dens_safe, kernel)
 
     pres = pressure(dens, u)
     csnd = sound_speed_from_density(dens, pres)
@@ -126,4 +130,57 @@ def compute_density(
         csnd=csnd,
         n_neighbors=counts,
         iterations=used_iter,
+        grid_builds=grid_builds,
+        grid=grid,
+        pairs=(i, j, r),
     )
+
+
+def _velocity_estimators(
+    pairs: tuple[np.ndarray, np.ndarray, np.ndarray],
+    pos: np.ndarray,
+    vel: np.ndarray,
+    mass: np.ndarray,
+    h: np.ndarray,
+    dens_safe: np.ndarray,
+    kernel: SPHKernel,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Standard SPH (divv, curlv) estimators over a gather pair list.
+
+    Shared by the full density pass and the step-7 fast path so the two can
+    never diverge.
+    """
+    i, j, r = pairs
+    n = len(dens_safe)
+    gf = kernel.grad_factor(r, h[i])           # (1/r) dW/dr
+    dvec = np.asarray(pos)[i] - np.asarray(pos)[j]
+    vvec = np.asarray(vel)[i] - np.asarray(vel)[j]
+    # div v_i = -(1/rho_i) sum_j m_j (v_ij . r_ij) gf
+    vdotr = np.einsum("ij,ij->i", vvec, dvec)
+    divv = -np.bincount(i, weights=mass[j] * vdotr * gf, minlength=n) / dens_safe
+    # curl v_i = (1/rho_i) | sum_j m_j (v_ij x r_ij) gf |
+    cross = np.cross(vvec, dvec)
+    cx = np.bincount(i, weights=mass[j] * cross[:, 0] * gf, minlength=n)
+    cy = np.bincount(i, weights=mass[j] * cross[:, 1] * gf, minlength=n)
+    cz = np.bincount(i, weights=mass[j] * cross[:, 2] * gf, minlength=n)
+    curlv = np.sqrt(cx**2 + cy**2 + cz**2) / dens_safe
+    return divv, curlv
+
+
+def refresh_velocity_fields(
+    d: DensityResult,
+    pos: np.ndarray,
+    vel: np.ndarray,
+    mass: np.ndarray,
+    kernel: SPHKernel = DEFAULT_KERNEL,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Recompute (divv, curlv) for *changed velocities only*.
+
+    Valid while positions and kernel sizes match the ``DensityResult`` —
+    the cached gather pair list is reused, so no neighbor search or h
+    iteration is paid.  This is the step-7 fast path of the integrator
+    (positions identical; kicks changed v, cooling changed u).
+    """
+    assert d.pairs is not None
+    dens_safe = np.maximum(d.dens, 1e-300)
+    return _velocity_estimators(d.pairs, pos, vel, mass, d.h, dens_safe, kernel)

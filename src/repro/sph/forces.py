@@ -15,10 +15,13 @@ Monaghan artificial viscosity moderated by the Balsara switch:
       + \\frac{1}{2} \\sum_j m_j \\Pi_{ij}
         \\mathbf{v}_{ij} \\cdot \\overline{\\nabla_i W}
 
-The pairwise loop is evaluated once per *ordered* pair from the symmetric
-edge list, so momentum conservation holds to machine precision by
-construction (each unordered pair contributes equal and opposite terms) —
-verified property-style in the test suite.
+The pairwise loop is evaluated once per *unordered* pair (half-pair edge
+list): every shared factor — kernel gradients, viscosity, signal velocity —
+is computed once and mirrored onto both endpoints by scatter-add with the
+sign flip the antisymmetry dictates.  Momentum conservation therefore holds
+to machine precision by construction (the i and j contributions are the
+same product scaled by m_j and m_i) while the kernel work is half that of
+the ordered-pair formulation — verified property-style in the test suite.
 """
 
 from __future__ import annotations
@@ -29,7 +32,7 @@ import numpy as np
 
 from repro.fdps.interaction import InteractionCounter
 from repro.sph.kernels import DEFAULT_KERNEL, SPHKernel
-from repro.sph.neighbors import neighbor_pairs
+from repro.sph.neighbors import NeighborGrid, neighbor_pairs
 
 
 @dataclass
@@ -37,7 +40,8 @@ class HydroForceResult:
     acc: np.ndarray          # (N, 3) hydrodynamic acceleration
     du_dt: np.ndarray        # (N,) specific internal energy rate
     v_signal: np.ndarray     # (N,) max signal velocity (for the CFL step)
-    n_pairs: int
+    n_pairs: int             # unordered pairs evaluated
+    pairs: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
 
 def compute_hydro_forces(
@@ -55,8 +59,17 @@ def compute_hydro_forces(
     alpha_visc: float = 1.0,
     beta_visc: float = 2.0,
     counter: InteractionCounter | None = None,
+    grid: NeighborGrid | None = None,
+    pairs: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
 ) -> HydroForceResult:
-    """Evaluate hydro accelerations and energy rates for all particles."""
+    """Evaluate hydro accelerations and energy rates for all particles.
+
+    ``grid`` reuses a prebuilt neighbor grid (e.g. the density solve's) for
+    the pair search; ``pairs`` skips the search entirely by supplying a
+    previously returned half-pair edge list ``(i, j, r)`` — valid only while
+    positions and kernel sizes are unchanged (the step-7 fast path of the
+    integrator, where only the internal energy moved).
+    """
     pos = np.asarray(pos, dtype=np.float64)
     vel = np.asarray(vel, dtype=np.float64)
     mass = np.asarray(mass, dtype=np.float64)
@@ -64,15 +77,22 @@ def compute_hydro_forces(
     omega = np.ones(n) if omega is None else np.asarray(omega)
     dens_safe = np.maximum(np.asarray(dens, dtype=np.float64), 1e-300)
 
-    i, j, r = neighbor_pairs(pos, h, mode="symmetric", include_self=False)
+    if pairs is not None:
+        i, j, r = pairs
+    else:
+        i, j, r = neighbor_pairs(
+            pos, h, mode="symmetric", include_self=False, grid=grid, half=True
+        )
     if counter is not None:
-        counter.add("hydro_force", 1, len(i))
+        # Each unordered pair is two interactions of the ordered formulation.
+        counter.add("hydro_force", 2, len(i))
     if len(i) == 0:
         return HydroForceResult(
             acc=np.zeros((n, 3)),
             du_dt=np.zeros(n),
             v_signal=np.asarray(csnd, dtype=np.float64).copy(),
             n_pairs=0,
+            pairs=(i, j, r),
         )
 
     dvec = pos[i] - pos[j]
@@ -97,33 +117,32 @@ def compute_hydro_forces(
     visc = balsara * (-alpha_visc * c_bar * mu + beta_visc * mu**2) / rho_bar
 
     # --- pressure gradient -----------------------------------------------------
+    # All per-pair factors are symmetric in (i, j) except the mass weight and
+    # the separation sign, so one evaluation feeds both endpoints.
     p_term_i = pres[i] / (omega[i] * dens_safe[i] ** 2)
     p_term_j = pres[j] / (omega[j] * dens_safe[j] ** 2)
-    scal = mass[j] * (p_term_i * gf_i + p_term_j * gf_j + visc * gf_bar)
+    scal = p_term_i * gf_i + p_term_j * gf_j + visc * gf_bar
 
     acc = np.zeros((n, 3))
-    np.add.at(acc[:, 0], i, -scal * dvec[:, 0])
-    np.add.at(acc[:, 1], i, -scal * dvec[:, 1])
-    np.add.at(acc[:, 2], i, -scal * dvec[:, 2])
+    w_ij = mass[j] * scal   # i receives -w_ij * dvec
+    w_ji = mass[i] * scal   # j receives +w_ji * dvec
+    for ax in range(3):
+        np.add.at(acc[:, ax], i, -w_ij * dvec[:, ax])
+        np.add.at(acc[:, ax], j, w_ji * dvec[:, ax])
 
     # --- energy equation --------------------------------------------------------
-    du_press = p_term_i * mass[j] * vdotr * gf_i
-    du_visc = 0.5 * visc * mass[j] * vdotr * gf_bar
-    du_dt = np.bincount(i, weights=du_press + du_visc, minlength=n)
+    # v_ji . r_ji == v_ij . r_ij, so the same vdotr serves both endpoints.
+    du_visc = 0.5 * visc * vdotr * gf_bar
+    du_dt = np.bincount(i, weights=mass[j] * (p_term_i * vdotr * gf_i + du_visc), minlength=n)
+    du_dt += np.bincount(j, weights=mass[i] * (p_term_j * vdotr * gf_j + du_visc), minlength=n)
 
     # --- signal velocity (Monaghan 1997) ----------------------------------------
-    w_ij = np.where(r > 0, vdotr / np.maximum(r, 1e-300), 0.0)
-    vsig_pair = csnd[i] + csnd[j] - 3.0 * np.minimum(w_ij, 0.0)
-    v_signal = np.maximum(
-        np.asarray(csnd, dtype=np.float64),
-        _segment_max(i, vsig_pair, n),
+    w_rel = np.where(r > 0, vdotr / np.maximum(r, 1e-300), 0.0)
+    vsig_pair = csnd[i] + csnd[j] - 3.0 * np.minimum(w_rel, 0.0)
+    v_signal = np.asarray(csnd, dtype=np.float64).copy()
+    np.maximum.at(v_signal, i, vsig_pair)
+    np.maximum.at(v_signal, j, vsig_pair)
+
+    return HydroForceResult(
+        acc=acc, du_dt=du_dt, v_signal=v_signal, n_pairs=len(i), pairs=(i, j, r)
     )
-
-    return HydroForceResult(acc=acc, du_dt=du_dt, v_signal=v_signal, n_pairs=len(i))
-
-
-def _segment_max(idx: np.ndarray, values: np.ndarray, n: int) -> np.ndarray:
-    """Per-segment maximum via np.maximum.at (0 where a segment is empty)."""
-    out = np.zeros(n)
-    np.maximum.at(out, idx, values)
-    return out

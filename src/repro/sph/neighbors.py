@@ -9,14 +9,22 @@ particles (only the fixed loop over the 27 offsets).
 
 The output is a flat *edge list* ``(i, j)`` of candidate pairs, which is the
 natural input for scatter-add SPH sums (``np.add.at`` / ``np.bincount``).
+
+A built :class:`NeighborGrid` is *reusable*: the same grid serves every
+h-iteration of the density solve and the force pass, as long as the largest
+search radius still fits inside one cell (``grid.covers(radius)``), and it
+answers box queries (:meth:`NeighborGrid.points_in_box`) for region
+extraction.  The symmetric force search additionally
+supports a *half-pair* mode that emits each unordered pair exactly once
+(an ``i < j`` cut of the cached candidates), so the force kernel does half
+the pairwise work and mirrors the result by scatter-add.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
-
 
 @dataclass
 class NeighborGrid:
@@ -28,6 +36,13 @@ class NeighborGrid:
     order: np.ndarray         # particle indices sorted by cell key
     sorted_keys: np.ndarray   # cell key per sorted particle
     pos: np.ndarray
+    # Lazily cached (i, j, r) candidates among the grid's own points: they
+    # depend only on the binning, so every h-iteration and the force pass
+    # share one generation.  Sized O(27-stencil pairs) — release with
+    # :meth:`release_pairs` once the per-step searches are done.
+    _self_pairs: tuple[np.ndarray, np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @classmethod
     def build(cls, pos: np.ndarray, cell: float) -> "NeighborGrid":
@@ -46,40 +61,111 @@ class NeighborGrid:
         c = np.clip(c, 0, dims - 1)
         return (c[:, 0] * dims[1] + c[:, 1]) * dims[2] + c[:, 2]
 
+    @property
+    def n_points(self) -> int:
+        return len(self.pos)
+
+    def covers(self, radius: float) -> bool:
+        """True if a search of ``radius`` is answered exactly by this grid
+        (every true neighbor lies inside the 27-cell stencil)."""
+        return float(radius) <= self.cell
+
+    # ----------------------------------------------------------- pair search
+    def _slots_for_offset(
+        self, qc: np.ndarray, off: tuple[int, int, int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(query_row, source_slot) pairs for one cell offset.
+
+        ``source_slot`` indexes the grid's sorted order; map through
+        ``self.order`` for original indices.
+        """
+        empty = np.empty(0, dtype=np.int64)
+        c = qc + np.array(off, dtype=np.int64)
+        valid = np.all((c >= 0) & (c < self.dims), axis=1)
+        if not valid.any():
+            return empty, empty
+        keys = (c[valid, 0] * self.dims[1] + c[valid, 1]) * self.dims[2] + c[valid, 2]
+        starts = np.searchsorted(self.sorted_keys, keys, side="left")
+        ends = np.searchsorted(self.sorted_keys, keys, side="right")
+        lens = ends - starts
+        total = int(lens.sum())
+        if total == 0:
+            return empty, empty
+        qidx = np.flatnonzero(valid)
+        # Expand ranges [starts, ends) into flat index arrays.
+        rep_q = np.repeat(qidx, lens)
+        cum = np.concatenate([[0], np.cumsum(lens)])
+        local = np.arange(total) - np.repeat(cum[:-1], lens)
+        slots = np.repeat(starts, lens) + local
+        return rep_q, slots
+
+    def _query_cells(self, query_pos: np.ndarray) -> np.ndarray:
+        qp = np.asarray(query_pos, dtype=np.float64)
+        qc = np.floor((qp - self.lo) / self.cell).astype(np.int64)
+        return np.clip(qc, 0, self.dims - 1)
+
     def candidate_pairs(self, query_pos: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """All (query, source) pairs with the source in a cell adjacent to
         the query's cell (27-cell stencil).  Distances are NOT filtered here.
         """
-        qp = np.asarray(query_pos, dtype=np.float64)
-        qc = np.floor((qp - self.lo) / self.cell).astype(np.int64)
-        qc = np.clip(qc, 0, self.dims - 1)
+        qc = self._query_cells(query_pos)
         out_i: list[np.ndarray] = []
         out_j: list[np.ndarray] = []
         for dx in (-1, 0, 1):
             for dy in (-1, 0, 1):
                 for dz in (-1, 0, 1):
-                    c = qc + np.array([dx, dy, dz])
-                    valid = np.all((c >= 0) & (c < self.dims), axis=1)
-                    if not valid.any():
-                        continue
-                    keys = (c[:, 0] * self.dims[1] + c[:, 1]) * self.dims[2] + c[:, 2]
-                    starts = np.searchsorted(self.sorted_keys, keys[valid], side="left")
-                    ends = np.searchsorted(self.sorted_keys, keys[valid], side="right")
-                    lens = ends - starts
-                    total = int(lens.sum())
-                    if total == 0:
-                        continue
-                    qidx = np.flatnonzero(valid)
-                    # Expand ranges [starts, ends) into flat index arrays.
-                    rep_q = np.repeat(qidx, lens)
-                    cum = np.concatenate([[0], np.cumsum(lens)])
-                    local = np.arange(total) - np.repeat(cum[:-1], lens)
-                    rep_s = self.order[np.repeat(starts, lens) + local]
-                    out_i.append(rep_q)
-                    out_j.append(rep_s)
+                    rep_q, slots = self._slots_for_offset(qc, (dx, dy, dz))
+                    if len(rep_q):
+                        out_i.append(rep_q)
+                        out_j.append(self.order[slots])
         if not out_i:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
         return np.concatenate(out_i), np.concatenate(out_j)
+
+    def self_pairs(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Unfiltered candidate pairs (i, j, r) among the grid's own points,
+        computed once and cached: repeated searches at different radii (the
+        h iteration, then the force pass) only re-run the cheap distance
+        comparison."""
+        if self._self_pairs is None:
+            i, j = self.candidate_pairs(self.pos)
+            d = self.pos[i] - self.pos[j]
+            r = np.sqrt(np.einsum("ij,ij->i", d, d))
+            self._self_pairs = (i, j, r)
+        return self._self_pairs
+
+    def release_pairs(self) -> None:
+        """Drop the cached candidate list (the largest transient of a step)."""
+        self._self_pairs = None
+
+    # ------------------------------------------------------------ box query
+    def points_in_box(self, box_lo: np.ndarray, box_hi: np.ndarray) -> np.ndarray:
+        """Indices of the grid's points inside [box_lo, box_hi] (inclusive).
+
+        Candidate cells overlapping the box are gathered via contiguous
+        z-runs of the sorted keys; candidates are then filtered exactly, so
+        the result is identical to a full scan at O(cells + candidates) cost.
+        """
+        box_lo = np.asarray(box_lo, dtype=np.float64)
+        box_hi = np.asarray(box_hi, dtype=np.float64)
+        clo = np.clip(np.floor((box_lo - self.lo) / self.cell).astype(np.int64), 0, self.dims - 1)
+        chi = np.clip(np.floor((box_hi - self.lo) / self.cell).astype(np.int64), 0, self.dims - 1)
+        xs = np.arange(clo[0], chi[0] + 1)
+        ys = np.arange(clo[1], chi[1] + 1)
+        gx, gy = np.meshgrid(xs, ys, indexing="ij")
+        base = (gx.ravel() * self.dims[1] + gy.ravel()) * self.dims[2]
+        starts = np.searchsorted(self.sorted_keys, base + clo[2], side="left")
+        ends = np.searchsorted(self.sorted_keys, base + chi[2], side="right")
+        lens = ends - starts
+        total = int(lens.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        cum = np.concatenate([[0], np.cumsum(lens)])
+        local = np.arange(total) - np.repeat(cum[:-1], lens)
+        cand = self.order[np.repeat(starts, lens) + local]
+        p = self.pos[cand]
+        inside = np.all((p >= box_lo) & (p <= box_hi), axis=1)
+        return cand[inside]
 
 
 def neighbor_pairs(
@@ -87,6 +173,8 @@ def neighbor_pairs(
     radius: np.ndarray | float,
     mode: str = "gather",
     include_self: bool = True,
+    grid: NeighborGrid | None = None,
+    half: bool = False,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Distance-filtered neighbor pairs.
 
@@ -100,6 +188,12 @@ def neighbor_pairs(
           (force sums, where either particle's kernel may cover the other).
     include_self : keep the i == j pair (the self kernel contribution to
         density).
+    grid : a prebuilt :class:`NeighborGrid` over the *same* ``pos`` to
+        reuse; a fresh grid is built when absent or when the largest radius
+        outgrows its cell size.
+    half : emit each unordered pair once instead of both orderings (only
+        meaningful with ``mode="symmetric"``; implies no self pairs).  The
+        caller is expected to mirror per-pair terms by scatter-add.
 
     Returns
     -------
@@ -107,20 +201,25 @@ def neighbor_pairs(
     """
     pos = np.asarray(pos, dtype=np.float64)
     r_arr = np.broadcast_to(np.asarray(radius, dtype=np.float64), (len(pos),))
-    cell = float(r_arr.max())
-    if cell <= 0.0:
+    r_max = float(r_arr.max())
+    if r_max <= 0.0:
         raise ValueError("search radius must be positive")
-    grid = NeighborGrid.build(pos, cell)
-    i, j = grid.candidate_pairs(pos)
-    d = pos[i] - pos[j]
-    r = np.sqrt(np.einsum("ij,ij->i", d, d))
+    if half and mode != "symmetric":
+        raise ValueError("half-pair search requires mode='symmetric'")
+    if grid is None or not grid.covers(r_max) or grid.n_points != len(pos):
+        grid = NeighborGrid.build(pos, r_max)
+    i, j, r = grid.self_pairs()
     if mode == "gather":
         keep = r < r_arr[i]
     elif mode == "symmetric":
         keep = r < np.maximum(r_arr[i], r_arr[j])
     else:
         raise ValueError(f"unknown mode {mode!r}")
-    if not include_self:
+    if half:
+        # The full candidate list holds both orderings of every unordered
+        # pair; i < j keeps each exactly once (and drops self pairs).
+        keep &= i < j
+    elif not include_self:
         keep &= i != j
     return i[keep], j[keep], r[keep]
 

@@ -146,17 +146,28 @@ def voxelize_particles(
 
 
 def extract_region(
-    ps: ParticleSet, center: np.ndarray, side: float
+    ps: ParticleSet, center: np.ndarray, side: float, index=None
 ) -> tuple[ParticleSet, np.ndarray]:
     """Gas particles inside the (side)^3 cube around ``center``.
 
     Returns the extracted copy and the indices into ``ps`` — this is step
     (2) of the Sec. 3.2 loop ("pick up particles in the (60 pc)^3 box around
-    the exploding star").
+    the exploding star").  ``index`` (a :class:`repro.accel.SpatialIndex`
+    whose cached grid scopes this particle set) answers the cube query from
+    the binned cells instead of a full O(N) scan; the exact distance-and-type
+    filter below makes the result identical either way.
     """
     center = np.asarray(center, dtype=np.float64)
     half = side / 2.0
-    inside = np.all(np.abs(ps.pos - center[None, :]) <= half, axis=1)
-    inside &= ps.where_type(ParticleType.GAS)
-    idx = np.flatnonzero(inside)
+    cand = None
+    if index is not None:
+        cand = index.query_box(center - half, center + half)
+    if cand is None:
+        inside = np.all(np.abs(ps.pos - center[None, :]) <= half, axis=1)
+        inside &= ps.where_type(ParticleType.GAS)
+        idx = np.flatnonzero(inside)
+    else:
+        inside = np.all(np.abs(ps.pos[cand] - center[None, :]) <= half, axis=1)
+        inside &= ps.where_type(ParticleType.GAS)[cand]
+        idx = np.sort(cand[inside])
     return ps.select(idx), idx

@@ -8,7 +8,6 @@ from repro.core.integrator import IntegratorConfig, SurrogateLeapfrog
 from repro.core.pool import PoolManager
 from repro.core.simulation import GalaxySimulation
 from repro.fdps.particles import ParticleSet, ParticleType
-from repro.physics.stellar import SN_MASS_MIN
 from repro.sn.turbulence import make_turbulent_box
 from repro.surrogate.model import SedovBlastOracle, SNSurrogate
 from repro.util.constants import internal_energy_to_temperature

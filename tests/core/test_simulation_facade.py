@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.integrator import IntegratorConfig
 from repro.core.simulation import GalaxySimulation
-from repro.fdps.particles import ParticleSet, ParticleType
 from repro.sn.turbulence import make_turbulent_box
 from repro.surrogate.model import SedovBlastOracle, SNSurrogate
 from repro.util.constants import temperature_to_internal_energy

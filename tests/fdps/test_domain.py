@@ -1,7 +1,6 @@
 """Multisection domain decomposition: balance, coverage, Fig. 4 geometry."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -6,8 +6,8 @@ import pytest
 from repro.fdps.domain import DomainDecomposition
 from repro.fdps.particles import ParticleType
 from repro.ic.galaxy import MW_SPEC, generate_for_domain, make_mw_mini, make_mw_model
-from repro.ic.halo import jeans_sigma, sample_halo
-from repro.ic.profiles import CompositeRotation, ExponentialDisk, NFWHalo
+from repro.ic.halo import jeans_sigma
+from repro.ic.profiles import ExponentialDisk, NFWHalo
 from repro.util.constants import KM_PER_S
 
 

@@ -1,6 +1,5 @@
 """Performance model: Table 4 shape, Table 3 anchor, scaling curves."""
 
-import numpy as np
 import pytest
 
 from repro.perf.costmodel import PAPER_TABLE3, RunConfig, StepCostModel

@@ -1,6 +1,5 @@
 """Property-style invariants of the scaling model."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

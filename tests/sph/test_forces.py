@@ -1,7 +1,6 @@
 """Hydro forces: conservation laws, shock heating, signal velocity."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

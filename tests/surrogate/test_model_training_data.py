@@ -12,7 +12,7 @@ from repro.surrogate.training_data import (
     generate_sedov_pair,
 )
 from repro.surrogate.voxelize import voxelize_particles
-from repro.util.constants import SN_ENERGY, internal_energy_to_temperature
+from repro.util.constants import internal_energy_to_temperature
 
 
 @pytest.fixture(scope="module")
