@@ -1,0 +1,99 @@
+"""Microbenchmark: spatial-structure reuse across the *distributed* pipeline.
+
+The multi-rank companion of ``bench_accel_reuse``: it records that the
+single-rank guarantee — at most one octree build per rank per step, with the
+cached tree serving both the LET export and the force walk — holds across
+ranks, and that the communication ledger sees the full migrated payload
+(every particle field) plus the header-carrying LET buffers.  The measured
+byte counts are priced on the Fugaku network model, anchoring the cost
+model's communication terms on what actually crossed the communicator.
+Results land in ``benchmarks/results/BENCH_distributed_reuse.json``.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from benchmarks.conftest import fmt_table
+from repro.fdps.distributed import DistributedGravity
+from repro.fdps.particles import ParticleSet
+from repro.perf.costmodel import measured_comm_breakdown
+from repro.perf.machines import FUGAKU
+
+N_PARTICLES = 4000
+N_RANKS = 8
+N_STEPS = 3
+
+
+def _plummer_cluster(n=N_PARTICLES, a=30.0, seed=45) -> ParticleSet:
+    rng = np.random.default_rng(seed)
+    r = a / np.sqrt(rng.uniform(0.01, 0.99, n) ** (-2.0 / 3.0) - 1.0)
+    u, v = rng.uniform(-1, 1, n), rng.uniform(0, 2 * np.pi, n)
+    s = np.sqrt(1 - u * u)
+    pos = r[:, None] * np.stack([s * np.cos(v), s * np.sin(v), u], axis=1)
+    ps = ParticleSet.from_arrays(
+        pos=pos,
+        mass=rng.uniform(0.5, 2.0, n),
+        eps=np.full(n, 0.5),
+        pid=np.arange(n),
+    )
+    ps.vel[:] = rng.normal(0, 0.3, (n, 3))
+    return ps
+
+
+def test_distributed_reuse(benchmark, results_dir, write_result):
+    driver = DistributedGravity(n_ranks=N_RANKS, theta=0.4, use_torus=True)
+    decomp, locals_ = driver.scatter(_plummer_cluster())
+    accs = driver.forces(locals_, decomp)  # warm-up pays the first builds
+    for index in driver.indices:
+        index.stats.reset()
+    driver.comm.reset_stats()
+
+    def _run():
+        nonlocal locals_, decomp, accs
+        t0 = time.perf_counter()
+        for _ in range(N_STEPS):
+            locals_, decomp, accs = driver.step(locals_, decomp, dt=0.01, accs=accs)
+        return (time.perf_counter() - t0) / N_STEPS
+
+    wall_per_step = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    builds = [index.stats.tree_builds for index in driver.indices]
+    reuses = [index.stats.tree_reuses for index in driver.indices]
+    ledger = driver.comm.stats
+    comm_model_s = measured_comm_breakdown(ledger, FUGAKU, n_ranks=N_RANKS)
+    payload = {
+        "n_particles": N_PARTICLES,
+        "n_ranks": N_RANKS,
+        "n_steps": N_STEPS,
+        "wall_per_step_s": wall_per_step,
+        "tree_builds_per_rank": builds,
+        "tree_reuses_per_rank": reuses,
+        "max_tree_builds_per_rank_per_step": max(builds) / N_STEPS,
+        "comm_bytes": {
+            label: stat.bytes_total for label, stat in ledger.items()
+        },
+        "comm_byte_hops": {
+            label: stat.byte_hops for label, stat in ledger.items()
+        },
+        "comm_modeled_seconds_fugaku": comm_model_s,
+    }
+    (results_dir / "BENCH_distributed_reuse.json").write_text(
+        json.dumps(payload, indent=2)
+    )
+
+    rows = [
+        ["wall clock / step [s]", wall_per_step],
+        ["max tree builds / rank / step", max(builds) / N_STEPS],
+        ["tree reuses (all ranks)", sum(reuses)],
+        ["exchange_particles bytes", ledger["exchange_particles"].bytes_total],
+        ["exchange_let bytes", ledger["exchange_let"].bytes_total],
+        ["modeled comm s/step (Fugaku)", sum(comm_model_s.values()) / N_STEPS],
+    ]
+    write_result("distributed_reuse", fmt_table(["metric", "value"], rows))
+
+    # The acceptance guarantee: at most one octree build per rank per step.
+    assert max(builds) <= N_STEPS
+    assert ledger["exchange_particles"].bytes_total > 0
+    assert ledger["exchange_let"].bytes_total > 0

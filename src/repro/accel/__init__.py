@@ -38,9 +38,17 @@ to a cold recompute whose h solve converges on its first sweep.  Owners
 signal state changes through :meth:`ForceEngine.notify_positions_changed`
 and :meth:`ForceEngine.notify_membership_changed`, which forward to the
 index and drop the pair-list cache.
+
+The multi-rank driver (:class:`repro.fdps.distributed.DistributedGravity`)
+owns one :class:`SpatialIndex` per rank under the same contract —
+invalidated at the drift and exchange boundaries — and uses
+:class:`ConcatStratifiedSampler` to draw the domain-decomposition subsample
+stratified along the chained per-rank Morton orders
+(``benchmarks/bench_distributed_reuse.py`` records the cross-rank build
+budget).
 """
 
 from repro.accel.engine import ForceEngine
-from repro.accel.index import IndexStats, SpatialIndex
+from repro.accel.index import ConcatStratifiedSampler, IndexStats, SpatialIndex
 
-__all__ = ["ForceEngine", "IndexStats", "SpatialIndex"]
+__all__ = ["ConcatStratifiedSampler", "ForceEngine", "IndexStats", "SpatialIndex"]

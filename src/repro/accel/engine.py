@@ -115,6 +115,16 @@ class ForceEngine:
             return res.acc
 
 
+    def work_weights(self, ps: ParticleSet) -> np.ndarray:
+        """Per-particle domain-decomposition weights: unit gravity work for
+        everyone plus the Table-3-anchored hydro surcharge on gas particles
+        (Sec. 5.2: the multisection minimizes summed gravity + hydro work)."""
+        from repro.perf.costmodel import hydro_gravity_work_ratio
+
+        w = np.ones(len(ps))
+        w[ps.where_type(ParticleType.GAS)] += hydro_gravity_work_ratio()
+        return w
+
     # ---------------------------------------------------------------- hydro
     def hydro(self, ps: ParticleSet, label: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Full density + hydro-force pass on the gas.

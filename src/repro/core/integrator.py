@@ -256,7 +256,11 @@ class SurrogateLeapfrog(BaseIntegrator):
             with self.timers.measure("Exchange_Particle"):
                 grid = process_grid(cfg.n_domains)
                 self.decomp = DomainDecomposition.fit(
-                    self.ps.pos, grid, sample=20000, index=self.engine.index
+                    self.ps.pos,
+                    grid,
+                    weights=self.engine.work_weights(self.ps),
+                    sample=20000,
+                    index=self.engine.index,
                 )
 
         # (6) star formation and cooling.

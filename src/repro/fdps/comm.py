@@ -32,13 +32,19 @@ class CommStats:
     bytes_total: int = 0
     byte_hops: int = 0           # sum over messages of nbytes * torus hops
     max_bytes_per_rank: int = 0  # max over ranks of bytes sent in one call
+    #: Sum over calls of the busiest rank's bytes — the bandwidth-bound
+    #: critical path of the whole ledger (each call completes no sooner than
+    #: its most loaded rank finishes injecting).
+    critical_bytes: int = 0
 
     def merge_call(self, per_rank_bytes: np.ndarray, n_messages: int, byte_hops: int) -> None:
         self.n_calls += 1
         self.n_messages += int(n_messages)
         self.bytes_total += int(per_rank_bytes.sum())
         self.byte_hops += int(byte_hops)
-        self.max_bytes_per_rank = max(self.max_bytes_per_rank, int(per_rank_bytes.max(initial=0)))
+        call_max = int(per_rank_bytes.max(initial=0))
+        self.max_bytes_per_rank = max(self.max_bytes_per_rank, call_max)
+        self.critical_bytes += call_max
 
 
 @dataclass

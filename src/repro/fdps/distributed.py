@@ -1,24 +1,37 @@
 """The distributed FDPS pipeline over the simulated communicator.
 
 This is the multi-rank execution path the paper runs on Fugaku, executed
-faithfully (same phases, same messages) on the in-process MPI:
+faithfully (same phases, same messages) on the in-process MPI.  Each rank
+owns a :class:`repro.accel.SpatialIndex` whose cached octree is reused
+everywhere a tree is needed within a step, with explicit invalidation at
+the drift and exchange boundaries:
 
 1. **domain decomposition** — multisection over sampled particles, with
    per-particle work weights (Sec. 5.2: the decomposition minimizes the
-   *sum* of gravity and hydro work);
+   *sum* of gravity and hydro work).  Re-decomposition in :meth:`step`
+   samples stratified along the per-rank Morton orders (snapshotted from
+   the rank indices) and weights particles by the measured interaction
+   work of the last force pass plus the hydro surcharge on gas;
 2. **particle exchange** — every rank sends emigrants through the (flat or
-   3-phase torus) alltoallv;
-3. **local tree construction** per rank;
+   3-phase torus) alltoallv.  The payload is the *full* packed particle
+   (every :data:`repro.fdps.particles.FIELDS` column), so the byte ledger
+   counts exactly what migration costs; membership changed, so every rank's
+   spatial index is invalidated;
+3. **local tree construction** per rank — at most one build per rank per
+   step, through :meth:`SpatialIndex.tree_for` (a still-valid cached tree
+   is reused, and the build/reuse counters record the guarantee);
 4. **LET exchange** — monopoles + boundary particles toward every remote
-   domain;
-5. **force calculation** — group-wise tree walks over local + imported
-   matter;
-6. a KDK **leapfrog step** built from those forces.
+   domain, exported by walking the *same* cached per-rank tree;
+5. **force calculation** — group-wise walks over that same cached local
+   tree, with the imported LET matter (already per-domain aggregated)
+   appended to each group's interaction list;
+6. a KDK **leapfrog step** built from those forces; the drift invalidates
+   every rank's positions before re-decomposition.
 
 The driver is the integration test of the whole framework: forces computed
 through the full distributed pipeline must match a single-rank global tree
 at tree-code accuracy, with all communication visible in the CommStats
-ledgers (used by the performance model's byte counts).
+ledgers (used by the performance model's byte-anchored comm terms).
 """
 
 from __future__ import annotations
@@ -27,13 +40,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.accel.index import ConcatStratifiedSampler, SpatialIndex
 from repro.fdps.comm import SimComm, TorusTopology
 from repro.fdps.domain import DomainDecomposition, process_grid
 from repro.fdps.interaction import InteractionCounter
 from repro.fdps.let import exchange_let
-from repro.fdps.particles import ParticleSet
+from repro.fdps.particles import ParticleSet, ParticleType
 from repro.fdps.tree import Octree
 from repro.gravity.treegrav import tree_accel
+from repro.perf.costmodel import hydro_gravity_work_ratio
 
 
 @dataclass
@@ -47,6 +62,8 @@ class DistributedGravity:
     use_torus : route the LET exchange through the 3-phase 3D alltoallv
         (requires ``n_ranks`` to factor into a torus; any count works —
         the factorization is the near-cubic one of ``process_grid``).
+    decomp_sample : subsample size for (re-)decomposition fits, as in
+        :func:`repro.fdps.domain.multisection_bounds`.
     """
 
     n_ranks: int
@@ -55,8 +72,12 @@ class DistributedGravity:
     leaf_size: int = 16
     use_torus: bool = False
     mixed_precision: bool = False
+    decomp_sample: int | None = 100_000
     grid: tuple[int, int, int] = field(init=False)
     comm: SimComm = field(init=False)
+    #: One spatial index per rank: the cached octree serves the LET export
+    #: and the force walk; its stats record the builds-per-step guarantee.
+    indices: list[SpatialIndex] = field(init=False)
 
     def __post_init__(self) -> None:
         if self.n_ranks < 1:
@@ -64,13 +85,17 @@ class DistributedGravity:
         self.grid = process_grid(self.n_ranks)
         topo = TorusTopology(self.grid) if self.use_torus else None
         self.comm = SimComm(self.n_ranks, topology=topo)
+        self.indices = [SpatialIndex() for _ in range(self.n_ranks)]
+        self._last_work: list[np.ndarray] | None = None
 
     # ----------------------------------------------------------------- phases
     def decompose(
         self, ps: ParticleSet, weights: np.ndarray | None = None
     ) -> tuple[DomainDecomposition, np.ndarray]:
         """Phase 1: fit the multisection and assign every particle a rank."""
-        decomp = DomainDecomposition.fit(ps.pos, self.grid, weights=weights)
+        decomp = DomainDecomposition.fit(
+            ps.pos, self.grid, weights=weights, sample=self.decomp_sample
+        )
         return decomp, decomp.assign(ps.pos)
 
     def exchange_particles(
@@ -78,25 +103,30 @@ class DistributedGravity:
     ) -> list[ParticleSet]:
         """Phase 2: move emigrants to their new owners via alltoallv.
 
-        Each rank packs per-destination position/velocity/mass/pid buffers;
-        delivery goes through the communicator so the byte ledger sees it.
+        Each rank packs its per-destination emigrants as *complete*
+        particles — every :data:`~repro.fdps.particles.FIELDS` column,
+        via :meth:`ParticleSet.pack` — into one byte-counted buffer per
+        destination; receivers rebuild the sets from the wire format.  The
+        ledger therefore counts the full migrated payload exactly.  A rank
+        whose membership changed (emigrants left or immigrants arrived) has
+        its spatial index invalidated; untouched ranks keep their caches.
         """
         p = self.n_ranks
         send: list[list[np.ndarray | None]] = [[None] * p for _ in range(p)]
         keep: list[ParticleSet] = []
-        stash: dict[tuple[int, int], ParticleSet] = {}
+        emigrated = [False] * p
         for src in range(p):
             ps = locals_[src]
             owner = decomp.assign(ps.pos)
             keep.append(ps.select(owner == src))
+            emigrated[src] = len(keep[src]) != len(ps)
             for dst in range(p):
                 if dst == src:
                     continue
                 moving = ps.select(owner == dst)
                 if len(moving) == 0:
                     continue
-                send[src][dst] = moving.pos.copy()  # byte-counted payload
-                stash[(src, dst)] = moving
+                send[src][dst] = moving.pack()  # byte-counted full payload
         recv = (
             self.comm.alltoallv_3d(send, label="exchange_particles")
             if self.use_torus
@@ -105,10 +135,14 @@ class DistributedGravity:
         out: list[ParticleSet] = []
         for dst in range(p):
             merged = keep[dst]
+            immigrated = False
             for src in range(p):
                 if recv[dst][src] is not None:
-                    merged = merged.append(stash[(src, dst)])
+                    merged = merged.append(ParticleSet.unpack(recv[dst][src]))
+                    immigrated = True
             out.append(merged)
+            if emigrated[dst] or immigrated:
+                self.indices[dst].invalidate_all()
         return out
 
     def forces(
@@ -117,13 +151,19 @@ class DistributedGravity:
         decomp: DomainDecomposition,
         counter: InteractionCounter | None = None,
     ) -> list[np.ndarray]:
-        """Phases 3-5: local trees, LET exchange, group-walk forces."""
+        """Phases 3-5: local trees, LET exchange, group-walk forces.
+
+        Each rank's tree comes from its :class:`SpatialIndex` cache (at most
+        one build per rank, zero when still valid) and serves both the LET
+        export walk and the force walk; imports enter the group interaction
+        lists directly.
+        """
         glo = np.min([ps.pos.min(axis=0) for ps in locals_ if len(ps)], axis=0)
         ghi = np.max([ps.pos.max(axis=0) for ps in locals_ if len(ps)], axis=0)
         trees: list[Octree | None] = []
-        for ps in locals_:
+        for rank, ps in enumerate(locals_):
             trees.append(
-                Octree.build(ps.pos, ps.mass, leaf_size=self.leaf_size)
+                self.indices[rank].tree_for(ps.pos, ps.mass, leaf_size=self.leaf_size)
                 if len(ps)
                 else None
             )
@@ -139,9 +179,11 @@ class DistributedGravity:
             self.comm, safe_trees, decomp, glo, ghi, self.theta, use_3d=self.use_torus
         )
         accs: list[np.ndarray] = []
+        work: list[np.ndarray] = []
         for rank, ps in enumerate(locals_):
             if len(ps) == 0:
                 accs.append(np.zeros((0, 3)))
+                work.append(np.zeros(0))
                 continue
             res = tree_accel(
                 ps.pos,
@@ -154,14 +196,19 @@ class DistributedGravity:
                 mixed_precision=self.mixed_precision,
                 extra_pos=imports[rank].pos,
                 extra_mass=imports[rank].mass,
+                tree=trees[rank],
             )
             accs.append(res.acc)
+            work.append(res.work)
+        self._last_work = work
         return accs
 
     # ------------------------------------------------------------ full driver
     def scatter(self, ps: ParticleSet) -> tuple[DomainDecomposition, list[ParticleSet]]:
         """Initial distribution of a global set onto the ranks."""
         decomp, owner = self.decompose(ps)
+        for index in self.indices:
+            index.invalidate_all()
         return decomp, [ps.select(owner == r) for r in range(self.n_ranks)]
 
     @staticmethod
@@ -175,15 +222,51 @@ class DistributedGravity:
         return out
 
     def global_accel(self, ps: ParticleSet) -> np.ndarray:
-        """One-shot distributed force evaluation, returned in pid order."""
+        """One-shot distributed force evaluation.
+
+        Accelerations are returned aligned row-for-row with the input
+        ``ps`` (NOT in pid order): ``acc[i]`` is the acceleration of
+        ``ps.pid[i]`` whatever that pid is.
+        """
         decomp, locals_ = self.scatter(ps)
         accs = self.forces(locals_, decomp)
         pid = np.concatenate([loc.pid for loc in locals_])
         acc = np.concatenate(accs)
         order = np.argsort(pid, kind="stable")
-        # Return aligned to sorted-pid order of the *input*.
+        # acc[order] is pid-sorted; inv maps each input row to the slot of
+        # its pid in that sorted order, restoring input-row alignment.
         inv = np.argsort(np.argsort(ps.pid, kind="stable"), kind="stable")
         return acc[order][inv]
+
+    # ----------------------------------------------------------- step helpers
+    def _step_weights(self, locals_: list[ParticleSet]) -> list[np.ndarray]:
+        """Per-rank decomposition weights: the measured per-particle gravity
+        work of the last force pass (interaction-list lengths) plus the
+        Table-3-anchored hydro surcharge on gas particles.
+
+        The surcharge is scaled by the *global* mean gravity work so that
+        identical gas particles carry identical weight wherever they
+        currently sit — per-gas hydro cost is rank-independent.
+        """
+        work = self._last_work
+        grav: list[np.ndarray] = []
+        for rank, ps in enumerate(locals_):
+            if work is not None and len(work[rank]) == len(ps):
+                grav.append(work[rank].copy())
+            else:
+                grav.append(np.ones(len(ps)))
+        n_total = sum(len(w) for w in grav)
+        global_mean = (
+            sum(float(w.sum()) for w in grav) / n_total if n_total else 1.0
+        )
+        surcharge = hydro_gravity_work_ratio() * max(global_mean, 1.0)
+        out: list[np.ndarray] = []
+        for ps, w in zip(locals_, grav):
+            gas = ps.where_type(ParticleType.GAS)
+            if gas.any():
+                w[gas] += surcharge
+            out.append(w)
+        return out
 
     def step(
         self,
@@ -197,16 +280,42 @@ class DistributedGravity:
         Returns (new locals, new decomposition, new accelerations) — the
         accelerations are returned so consecutive steps reuse the closing
         force evaluation as the next opening kick (standard KDK chaining).
+
+        Re-decomposition goes through ``DomainDecomposition.fit(weights=...,
+        index=...)``: weights are the measured gravity work of the last
+        force pass plus the gas hydro surcharge, and the decomposition
+        subsample is drawn stratified along the per-rank Morton orders
+        (snapshotted before the drift invalidates the caches — a
+        permutation remains a spatially even visiting order across one
+        sub-cell drift).
         """
         if accs is None:
             accs = self.forces(locals_, decomp)
-        for ps, acc in zip(locals_, accs):
+        weights = self._step_weights(locals_)
+        orders = [
+            self.indices[rank].cached_order(len(ps))
+            for rank, ps in enumerate(locals_)
+        ]
+        for rank, (ps, acc) in enumerate(zip(locals_, accs)):
             if len(ps):
                 ps.vel += 0.5 * dt * acc
                 ps.pos += dt * ps.vel
+                self.indices[rank].invalidate_positions()
         # Re-decompose and migrate before the closing force evaluation.
-        merged_pos = np.concatenate([ps.pos for ps in locals_ if len(ps)])
-        decomp = DomainDecomposition.fit(merged_pos, self.grid)
+        nonempty = [rank for rank, ps in enumerate(locals_) if len(ps)]
+        merged_pos = np.concatenate([locals_[rank].pos for rank in nonempty])
+        merged_w = np.concatenate([weights[rank] for rank in nonempty])
+        sampler = ConcatStratifiedSampler(
+            orders=[orders[rank] for rank in nonempty],
+            counts=[len(locals_[rank]) for rank in nonempty],
+        )
+        decomp = DomainDecomposition.fit(
+            merged_pos,
+            self.grid,
+            weights=merged_w,
+            sample=self.decomp_sample,
+            index=sampler,
+        )
         locals_ = self.exchange_particles(locals_, decomp)
         accs = self.forces(locals_, decomp)
         for ps, acc in zip(locals_, accs):

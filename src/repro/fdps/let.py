@@ -34,20 +34,57 @@ class LetExport:
     n_pseudo: int     # first n_pseudo entries are node monopoles
 
     @property
+    def n_real(self) -> int:
+        return len(self.mass) - self.n_pseudo
+
+    @property
     def nbytes(self) -> int:
-        return int(self.pos.nbytes + self.mass.nbytes)
+        """Wire size of :meth:`pack` (payload rows plus the header row)."""
+        return (len(self.mass) + 1) * 4 * 8
 
     def pack(self) -> np.ndarray:
-        """Serialize to one float64 buffer (for byte-accurate comm counting)."""
-        out = np.empty((len(self.mass), 4), dtype=np.float64)
-        out[:, :3] = self.pos
-        out[:, 3] = self.mass
+        """Serialize to one float64 buffer (for byte-accurate comm counting).
+
+        The first row is a header carrying the pseudo/real split — part of
+        the payload a real MPI exchange would also ship (as send counts), so
+        it is byte-counted like everything else.
+        """
+        out = np.empty((len(self.mass) + 1, 4), dtype=np.float64)
+        out[0] = (float(self.n_pseudo), float(self.n_real), 0.0, 0.0)
+        out[1:, :3] = self.pos
+        out[1:, 3] = self.mass
         return out
 
     @staticmethod
     def unpack(buf: np.ndarray) -> "LetExport":
-        buf = buf.reshape(-1, 4)
-        return LetExport(pos=buf[:, :3].copy(), mass=buf[:, 3].copy(), n_pseudo=0)
+        buf = np.asarray(buf, dtype=np.float64).reshape(-1, 4)
+        n_pseudo, n_real = int(buf[0, 0]), int(buf[0, 1])
+        body = buf[1:]
+        if len(body) != n_pseudo + n_real:
+            raise ValueError(
+                f"LET buffer header claims {n_pseudo}+{n_real} entries, "
+                f"got {len(body)}"
+            )
+        return LetExport(
+            pos=body[:, :3].copy(), mass=body[:, 3].copy(), n_pseudo=n_pseudo
+        )
+
+    @staticmethod
+    def merge(exports: list["LetExport"]) -> "LetExport":
+        """Concatenate imports keeping the split: all monopoles first, then
+        all real boundary particles, with the summed ``n_pseudo``."""
+        if not exports:
+            return LetExport(pos=np.empty((0, 3)), mass=np.empty(0), n_pseudo=0)
+        n_pseudo = sum(e.n_pseudo for e in exports)
+        pos = np.concatenate(
+            [e.pos[: e.n_pseudo] for e in exports]
+            + [e.pos[e.n_pseudo :] for e in exports]
+        )
+        mass = np.concatenate(
+            [e.mass[: e.n_pseudo] for e in exports]
+            + [e.mass[e.n_pseudo :] for e in exports]
+        )
+        return LetExport(pos=pos, mass=mass, n_pseudo=n_pseudo)
 
 
 def build_let_exports(
@@ -98,11 +135,5 @@ def exchange_let(
     imported: list[LetExport] = []
     for dst in range(p):
         bufs = [recv[dst][src] for src in range(p) if recv[dst][src] is not None]
-        if bufs:
-            packed = np.concatenate([b.reshape(-1, 4) for b in bufs])
-            imported.append(LetExport.unpack(packed))
-        else:
-            imported.append(
-                LetExport(pos=np.empty((0, 3)), mass=np.empty(0), n_pseudo=0)
-            )
+        imported.append(LetExport.merge([LetExport.unpack(b) for b in bufs]))
     return imported

@@ -28,6 +28,9 @@ class TreeGravityResult:
     n_groups: int
     mean_list_length: float
     interactions: int
+    #: Per-particle interaction-list length — the measured gravity work of
+    #: each target, usable as a domain-decomposition weight (Sec. 5.2).
+    work: np.ndarray | None = None
 
 
 def tree_accel(
@@ -48,17 +51,42 @@ def tree_accel(
 
     ``extra_pos/extra_mass`` inject imported LET matter (pseudo + boundary
     particles from remote ranks); they contribute force but receive none.
-    ``tree`` skips construction by supplying a prebuilt :class:`Octree` —
-    it must cover exactly the local + extra particles in that order (e.g.
-    the cached tree of a :class:`repro.accel.SpatialIndex`).
+    ``tree`` skips construction by supplying a prebuilt :class:`Octree` (e.g.
+    the cached tree of a :class:`repro.accel.SpatialIndex`), in one of two
+    shapes:
+
+    * covering exactly local + extra particles in that order — the combined
+      tree is walked as if built here;
+    * covering exactly the *local* particles while extras are present — the
+      local tree is walked for the local-local forces and the imports
+      (already per-domain-aggregated by the LET construction) are evaluated
+      once as direct sources on every local target.  This is the distributed
+      reuse path: the same cached local tree serves the LET export and the
+      force walk, trading a modest kernel-work increase (no MAC
+      re-compression of the import list — every target sees every import
+      entry) for skipping the per-step combined-tree build entirely; the
+      inflation is bounded by the LET summary size, which the export MAC
+      keeps far below N_remote.
     """
     pos = np.asarray(pos, dtype=np.float64)
     mass = np.asarray(mass, dtype=np.float64)
     eps = np.asarray(eps, dtype=np.float64)
-    if extra_pos is not None and len(extra_pos):
-        all_pos = np.concatenate([pos, np.asarray(extra_pos, dtype=np.float64)])
-        all_mass = np.concatenate([mass, np.asarray(extra_mass, dtype=np.float64)])
-        all_eps = np.concatenate([eps, np.zeros(len(extra_pos))])
+    n_local = len(pos)
+    has_extra = extra_pos is not None and len(extra_pos) > 0
+    if has_extra:
+        extra_pos = np.asarray(extra_pos, dtype=np.float64)
+        extra_mass = np.asarray(extra_mass, dtype=np.float64)
+        extra_eps = np.zeros(len(extra_pos))
+
+    local_tree_mode = (
+        tree is not None and has_extra and tree.n_particles == n_local
+    )
+    if local_tree_mode:
+        all_pos, all_mass, all_eps = pos, mass, eps
+    elif has_extra:
+        all_pos = np.concatenate([pos, extra_pos])
+        all_mass = np.concatenate([mass, extra_mass])
+        all_eps = np.concatenate([eps, extra_eps])
     else:
         all_pos, all_mass, all_eps = pos, mass, eps
 
@@ -68,15 +96,12 @@ def tree_accel(
         raise ValueError(
             f"prebuilt tree covers {tree.n_particles} particles, "
             f"expected {len(all_pos)}"
+            + (f" (or the {n_local} local ones)" if has_extra else "")
         )
     kernel = accel_between_mixed if mixed_precision else accel_between
 
     acc = np.zeros_like(pos)
-    n_local = len(pos)
-    # Sorted-order slot of each local particle: walk groups cover ALL tree
-    # particles; we only evaluate/receive force for the local ones.
-    inv = np.empty(len(all_pos), dtype=np.int64)
-    inv[tree.order] = np.arange(len(all_pos))
+    work = np.zeros(n_local)
 
     lists = 0
     total_list = 0
@@ -101,13 +126,25 @@ def tree_accel(
             exclude_self=True,
             g=g,
         )
+        work[targets] = len(src_mass)
         lists += 1
         total_list += len(src_mass)
         total_inter += len(targets) * len(src_mass)
+
+    if local_tree_mode:
+        # The imports are needed by every group, so evaluate them once for
+        # all local targets instead of copying them into each group's list.
+        acc += kernel(
+            pos, eps, extra_pos, extra_mass, extra_eps, counter=counter, g=g
+        )
+        work += len(extra_pos)
+        total_list += lists * len(extra_pos)
+        total_inter += n_local * len(extra_pos)
 
     return TreeGravityResult(
         acc=acc,
         n_groups=lists,
         mean_list_length=total_list / lists if lists else 0.0,
         interactions=total_inter,
+        work=work,
     )

@@ -19,6 +19,13 @@ Cross-machine transfer uses the per-ISA kernel model of
 :mod:`repro.perf.kernels` and each machine's network parameters, with one
 documented per-machine overhead factor calibrated from the machine's own
 Table 3 interaction rows.
+
+Beyond the analytic anchor, :func:`comm_seconds_from_ledger` /
+:func:`measured_comm_breakdown` price a *measured* :class:`CommStats` byte
+ledger from the distributed driver on a machine's network model — exact now
+that the particle exchange packs the full migration payload and the LET
+buffers carry their headers.  :func:`hydro_gravity_work_ratio` exposes the
+Table-3 gas-particle work surcharge used as the domain-decomposition weight.
 """
 
 from __future__ import annotations
@@ -49,6 +56,59 @@ _ANCHOR_NODES = 148_896
 _ANCHOR_NLOC = 2.0e6
 _ANCHOR_N = _ANCHOR_NODES * _ANCHOR_NLOC
 _ANCHOR_GAS_FRACTION = 4.9e10 / 3.0e11
+
+def hydro_gravity_work_ratio() -> float:
+    """Per-gas-particle hydro work over per-particle gravity work.
+
+    Anchored on the Table 3 rows: the hydro sweeps (density + force +
+    kernel-size iteration) are paid per *gas* particle while the gravity
+    interaction row is paid per particle, so the decomposition weight of a
+    gas particle carries this surcharge (Sec. 5.2: the multisection
+    minimizes the summed gravity and hydro work).
+    """
+    hydro_t = (
+        PAPER_TABLE3["interaction_density"][0]
+        + PAPER_TABLE3["interaction_hydro_force"][0]
+        + PAPER_TABLE3["kernel_size"][0]
+    )
+    grav_t = PAPER_TABLE3["interaction_gravity"][0]
+    per_gas = hydro_t / (_ANCHOR_N * _ANCHOR_GAS_FRACTION)
+    per_particle = grav_t / _ANCHOR_N
+    return per_gas / per_particle
+
+
+def comm_seconds_from_ledger(stat, machine: Machine, n_ranks: int) -> float:
+    """Modeled wall seconds of one labelled operation class from its
+    *measured* byte ledger.
+
+    ``stat`` is a :class:`repro.fdps.comm.CommStats` (duck-typed: needs
+    ``n_calls``, ``n_messages``, ``critical_bytes``).  Each call's critical
+    path is its busiest rank; the ledger's ``critical_bytes`` accumulates
+    exactly those per-call maxima, so the bandwidth term prices what the
+    slowest rank actually injected, plus per-message latency for one rank's
+    share of the messages.  Because the distributed driver now packs the
+    *full* migration payload (every particle field) and the LET buffers
+    carry their headers, these byte counts are exact — the term is anchored
+    on what actually crossed the communicator rather than on a guessed
+    payload shape.
+    """
+    if stat.n_calls == 0:
+        return 0.0
+    msgs_per_rank = int(np.ceil(stat.n_messages / max(n_ranks, 1)))
+    return machine.network.message_time(
+        stat.critical_bytes, n_messages=max(msgs_per_rank, 1)
+    )
+
+
+def measured_comm_breakdown(
+    stats: dict, machine: Machine, n_ranks: int
+) -> dict[str, float]:
+    """Per-label modeled seconds for a whole :attr:`SimComm.stats` ledger."""
+    return {
+        label: comm_seconds_from_ledger(stat, machine, n_ranks)
+        for label, stat in stats.items()
+    }
+
 
 #: Per-machine overhead factor: achieved interaction rate at scale over
 #: (peak * modeled kernel efficiency).  Calibrated from each machine's own

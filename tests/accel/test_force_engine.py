@@ -169,3 +169,15 @@ def test_surrogate_step_physics_unchanged_by_engine():
     d = sim.diagnostics()
     assert d["n_gas"] == n_gas
     assert np.isfinite(d["kinetic_energy"]) and np.isfinite(d["thermal_energy"])
+
+
+def test_work_weights_surcharge_gas():
+    sim = _steady_integrator(self_gravity=False)
+    w = sim.engine.work_weights(sim.ps)
+    gas = sim.ps.where_type(ParticleType.GAS)
+    assert np.all(w[gas] > 1.0)
+    assert np.all(w[~gas] == 1.0) or not (~gas).any()
+    # The surcharge is the Table-3-anchored hydro/gravity work ratio.
+    from repro.perf.costmodel import hydro_gravity_work_ratio
+
+    assert np.allclose(w[gas], 1.0 + hydro_gravity_work_ratio())

@@ -3,9 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.accel.index import ConcatStratifiedSampler
 from repro.fdps.distributed import DistributedGravity
+from repro.fdps.domain import DomainDecomposition
 from repro.fdps.interaction import InteractionCounter
-from repro.fdps.particles import ParticleSet
+from repro.fdps.particles import ParticleSet, packed_width
 from repro.gravity.kernels import accel_direct
 from tests.conftest import plummer_positions
 
@@ -125,6 +127,129 @@ def test_interaction_counter_collects():
     driver.forces(locals_, decomp, counter=counter)
     assert counter.interactions("gravity") > 0
     assert counter.flops("gravity") == 27 * counter.interactions("gravity")
+
+
+def _expected_exchange_bytes(driver, locals_, decomp):
+    """Sum of packed payload bytes, weighted by torus forwarding phases."""
+    topo = driver.comm.topology
+    total = 0
+    for src in range(driver.n_ranks):
+        ps = locals_[src]
+        owner = decomp.assign(ps.pos)
+        for dst in range(driver.n_ranks):
+            if dst == src:
+                continue
+            n_moving = int((owner == dst).sum())
+            if n_moving == 0:
+                continue
+            nbytes = n_moving * packed_width() * 8
+            if topo is None:
+                total += nbytes
+            else:
+                ca, cb = topo.coords(src), topo.coords(dst)
+                total += nbytes * sum(a != b for a, b in zip(ca, cb))
+    return total
+
+
+@pytest.mark.parametrize("use_torus", [False, True])
+def test_exchange_particles_byte_ledger_exact(use_torus):
+    ps = _cluster(seed=31)
+    driver = DistributedGravity(n_ranks=8, use_torus=use_torus)
+    decomp, locals_ = driver.scatter(ps)
+    # Displace rank 0 so a real migration happens.
+    locals_[0].pos[:, 0] += 80.0
+    merged_pos = np.concatenate([loc.pos for loc in locals_])
+    new_decomp = DomainDecomposition.fit(merged_pos, driver.grid)
+    expected = _expected_exchange_bytes(driver, locals_, new_decomp)
+    assert expected > 0
+    driver.comm.reset_stats()
+    moved = driver.exchange_particles(locals_, new_decomp)
+    assert driver.comm.stats["exchange_particles"].bytes_total == expected
+    assert sum(len(loc) for loc in moved) == len(ps)
+
+
+def test_exchange_particles_carries_full_payload():
+    """Migrated particles keep every field: velocity, type, metals, pids."""
+    rng = np.random.default_rng(32)
+    n = 120
+    ps = ParticleSet.from_arrays(
+        pos=rng.uniform(-50, 50, (n, 3)),
+        vel=rng.normal(0, 1, (n, 3)),
+        mass=rng.uniform(0.5, 2.0, n),
+        u=rng.uniform(1, 10, n),
+        zmet=rng.uniform(0, 0.02, (n, 4)),
+        ptype=rng.integers(0, 3, n),
+        pid=rng.permutation(10 * n)[:n],
+    )
+    driver = DistributedGravity(n_ranks=4)
+    decomp, locals_ = driver.scatter(ps.copy())
+    locals_[0].pos[:, 0] += 200.0
+    merged_pos = np.concatenate([loc.pos for loc in locals_])
+    new_decomp = DomainDecomposition.fit(merged_pos, driver.grid)
+    moved = driver.exchange_particles(locals_, new_decomp)
+    back = driver.gather(moved)
+    order = np.argsort(ps.pid, kind="stable")
+    for name in ("vel", "mass", "u", "zmet", "ptype"):
+        assert np.array_equal(back.data[name], ps.data[name][order]), name
+
+
+def test_one_tree_build_per_rank_per_step():
+    ps = _cluster(n=600, seed=33)
+    driver = DistributedGravity(n_ranks=4, theta=0.35, decomp_sample=64)
+    decomp, locals_ = driver.scatter(ps)
+    accs = driver.forces(locals_, decomp)  # warm-up pays the first builds
+    for index in driver.indices:
+        index.stats.reset()
+    n_steps = 3
+    for _ in range(n_steps):
+        locals_, decomp, accs = driver.step(locals_, decomp, dt=0.01, accs=accs)
+    for index in driver.indices:
+        assert index.stats.tree_builds <= n_steps  # <= 1 build per step
+    assert sum(i.stats.tree_builds for i in driver.indices) > 0
+    # A force re-evaluation at unchanged positions reuses every cached tree.
+    builds_before = [i.stats.tree_builds for i in driver.indices]
+    driver.forces(locals_, decomp)
+    assert [i.stats.tree_builds for i in driver.indices] == builds_before
+    assert any(i.stats.tree_reuses > 0 for i in driver.indices)
+
+
+def test_step_refit_gets_weights_and_stratified_sampler(monkeypatch):
+    captured = []
+    orig = DomainDecomposition.fit.__func__
+
+    def spy(cls, pos, grid, weights=None, sample=100_000, rng=None, index=None):
+        captured.append({"n": len(pos), "weights": weights, "index": index})
+        return orig(cls, pos, grid, weights=weights, sample=sample, rng=rng, index=index)
+
+    monkeypatch.setattr(DomainDecomposition, "fit", classmethod(spy))
+    ps = _cluster(n=800, seed=34)
+    # Small groups so per-particle work (interaction-list length) varies.
+    driver = DistributedGravity(n_ranks=4, theta=0.35, n_g=32)
+    decomp, locals_ = driver.scatter(ps)
+    driver.step(locals_, decomp, dt=0.01)
+    refit = captured[-1]
+    assert isinstance(refit["index"], ConcatStratifiedSampler)
+    w = refit["weights"]
+    assert w is not None and len(w) == refit["n"] and np.all(w > 0)
+    # The measured gravity work varies between particles (it is not a
+    # silently-dropped all-ones placeholder).
+    assert np.unique(w).size > 1
+    # The sampler snapshotted valid per-rank Morton orders: it can draw a
+    # stratified subsample of the merged set.
+    pick = refit["index"].stratified_sample(50, refit["n"])
+    assert pick is not None and len(pick) == 50
+    assert len(np.unique(pick)) == 50 and pick.min() >= 0 and pick.max() < refit["n"]
+
+
+def test_global_accel_row_order_with_shuffled_pids():
+    """Regression pin: global_accel aligns to input rows, not pid order."""
+    ps = _cluster(n=300, seed=35)
+    rng = np.random.default_rng(36)
+    ps.pid[:] = rng.permutation(5000)[:300]  # unique, shuffled, sparse
+    ref = accel_direct(ps.pos, ps.mass, ps.eps)
+    driver = DistributedGravity(n_ranks=4, theta=0.3)
+    acc = driver.global_accel(ps.copy())
+    assert np.median(_rel_err(acc, ref)) < 5e-3
 
 
 def test_empty_rank_is_tolerated():

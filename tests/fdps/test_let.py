@@ -1,0 +1,111 @@
+"""LET wire format: pseudo/real split preservation and byte-ledger exactness."""
+
+import numpy as np
+import pytest
+
+from repro.fdps.comm import SimComm, TorusTopology
+from repro.fdps.domain import DomainDecomposition, process_grid
+from repro.fdps.let import LetExport, build_let_exports, exchange_let
+from repro.fdps.tree import Octree
+from tests.conftest import plummer_positions
+
+
+@pytest.fixture()
+def cluster():
+    rng = np.random.default_rng(41)
+    pos = plummer_positions(900, a=30.0, rng=rng)
+    mass = rng.uniform(0.5, 2.0, 900)
+    return pos, mass
+
+
+def _setup(pos, mass, grid):
+    dd = DomainDecomposition.fit(pos, grid, sample=None)
+    ranks = dd.assign(pos)
+    trees = [
+        Octree.build(pos[ranks == r], mass[ranks == r], leaf_size=16)
+        for r in range(dd.n_domains)
+    ]
+    glo, ghi = pos.min(axis=0), pos.max(axis=0)
+    return dd, trees, glo, ghi
+
+
+def test_pack_unpack_preserves_pseudo_split(cluster):
+    pos, mass = cluster
+    tree = Octree.build(pos, mass, leaf_size=16)
+    exp = build_let_exports(tree, np.array([150.0] * 3), np.array([220.0] * 3), 0.5)
+    assert exp.n_pseudo > 0 and exp.n_real > 0
+    back = LetExport.unpack(exp.pack())
+    assert back.n_pseudo == exp.n_pseudo
+    assert back.n_real == exp.n_real
+    assert np.array_equal(back.pos, exp.pos)
+    assert np.array_equal(back.mass, exp.mass)
+    assert exp.nbytes == exp.pack().nbytes  # nbytes reports the wire size
+
+
+def test_unpack_rejects_corrupt_header(cluster):
+    pos, mass = cluster
+    tree = Octree.build(pos, mass, leaf_size=16)
+    exp = build_let_exports(tree, np.array([150.0] * 3), np.array([220.0] * 3), 0.5)
+    buf = exp.pack()
+    buf[0, 0] += 1  # header no longer matches the body length
+    with pytest.raises(ValueError):
+        LetExport.unpack(buf)
+
+
+def test_merge_keeps_monopoles_separate_from_boundary_particles():
+    a = LetExport(
+        pos=np.arange(12.0).reshape(4, 3), mass=np.arange(4.0) + 1, n_pseudo=1
+    )
+    b = LetExport(
+        pos=-np.arange(9.0).reshape(3, 3), mass=np.arange(3.0) + 10, n_pseudo=2
+    )
+    merged = LetExport.merge([a, b])
+    assert merged.n_pseudo == 3
+    assert merged.n_real == 4
+    # Pseudo block: a's monopole then b's two, in order; real block after.
+    assert np.array_equal(merged.mass[:3], [1.0, 10.0, 11.0])
+    assert np.array_equal(merged.mass[3:], [2.0, 3.0, 4.0, 12.0])
+    assert merged.mass.sum() == pytest.approx(a.mass.sum() + b.mass.sum())
+
+
+def test_exchange_let_imports_keep_pseudo_counts(cluster):
+    pos, mass = cluster
+    dd, trees, glo, ghi = _setup(pos, mass, (2, 2, 1))
+    comm = SimComm(dd.n_domains)
+    imports = exchange_let(comm, trees, dd, glo, ghi, theta=0.4)
+    for dst in range(dd.n_domains):
+        expected_pseudo = sum(
+            build_let_exports(
+                trees[src], *dd.finite_domain_box(dst, glo, ghi), 0.4
+            ).n_pseudo
+            for src in range(dd.n_domains)
+            if src != dst
+        )
+        assert imports[dst].n_pseudo == expected_pseudo
+        assert imports[dst].n_real == len(imports[dst].mass) - expected_pseudo
+        assert imports[dst].n_pseudo > 0
+
+
+@pytest.mark.parametrize("use_3d", [False, True])
+def test_exchange_let_byte_ledger_exact(cluster, use_3d):
+    pos, mass = cluster
+    grid = process_grid(8)
+    dd, trees, glo, ghi = _setup(pos, mass, grid)
+    topo = TorusTopology(grid) if use_3d else None
+    comm = SimComm(dd.n_domains, topology=topo)
+    exchange_let(comm, trees, dd, glo, ghi, theta=0.4, use_3d=use_3d)
+    expected = 0
+    for src in range(dd.n_domains):
+        for dst in range(dd.n_domains):
+            if src == dst:
+                continue
+            nbytes = build_let_exports(
+                trees[src], *dd.finite_domain_box(dst, glo, ghi), 0.4
+            ).pack().nbytes
+            if topo is None:
+                expected += nbytes
+            else:
+                ca, cb = topo.coords(src), topo.coords(dst)
+                expected += nbytes * sum(a != b for a, b in zip(ca, cb))
+    assert comm.stats["exchange_let"].bytes_total == expected
+    assert expected > 0

@@ -108,3 +108,29 @@ def test_bounding_box(plummer_ps):
     lo, hi = plummer_ps.bounding_box(pad=1.0)
     assert np.all(lo < plummer_ps.pos.min(axis=0))
     assert np.all(hi > plummer_ps.pos.max(axis=0))
+
+
+def test_pack_unpack_roundtrip_all_fields():
+    rng = np.random.default_rng(7)
+    n = 25
+    ps = ParticleSet.empty(n)
+    for name, (shape, dtype, _fill) in FIELDS.items():
+        if np.issubdtype(dtype, np.integer):
+            ps.data[name][...] = rng.integers(0, 100, (n, *shape)).astype(dtype)
+        else:
+            ps.data[name][...] = rng.normal(0, 10, (n, *shape))
+    back = ParticleSet.unpack(ps.pack())
+    for name in FIELDS:
+        assert back.data[name].dtype == ps.data[name].dtype, name
+        assert np.array_equal(back.data[name], ps.data[name]), name
+
+
+def test_packed_width_counts_every_column():
+    from repro.fdps.particles import packed_width
+
+    expected = sum(
+        int(np.prod(shape, dtype=np.int64)) for shape, _, _ in FIELDS.values()
+    )
+    assert packed_width() == expected
+    assert ParticleSet.empty(4).pack().shape == (4, expected)
+    assert ParticleSet.empty(4).pack().nbytes == 4 * expected * 8

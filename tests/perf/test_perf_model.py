@@ -158,3 +158,42 @@ def test_one_gyr_estimate_60_days():
     out = projected_one_gyr_walltime(seconds_per_step=10.0)
     assert out["steps"] == pytest.approx(5e5)
     assert out["days"] == pytest.approx(57.9, rel=0.01)  # "~60 days"
+
+
+# ------------------------------------------------- measured-ledger anchoring
+def test_hydro_gravity_work_ratio_from_anchor():
+    from repro.perf.costmodel import hydro_gravity_work_ratio
+
+    ratio = hydro_gravity_work_ratio()
+    # (1.18 + 0.34 + 3.18) per gas particle vs 1.63 per particle at a gas
+    # fraction of ~0.163: a gas particle costs ~18x a collisionless one.
+    assert 10.0 < ratio < 30.0
+
+
+def test_comm_seconds_from_measured_ledger():
+    from repro.fdps.comm import CommStats
+    from repro.perf.costmodel import comm_seconds_from_ledger, measured_comm_breakdown
+
+    stat = CommStats(
+        n_calls=3, n_messages=42, bytes_total=3 << 20, byte_hops=3 << 20,
+        max_bytes_per_rank=1 << 20, critical_bytes=3 << 20,
+    )
+    t = comm_seconds_from_ledger(stat, FUGAKU, n_ranks=8)
+    assert t > 0
+    bigger = CommStats(
+        n_calls=3, n_messages=42, bytes_total=3 << 24, byte_hops=3 << 24,
+        max_bytes_per_rank=1 << 24, critical_bytes=3 << 24,
+    )
+    assert comm_seconds_from_ledger(bigger, FUGAKU, n_ranks=8) > t
+    assert comm_seconds_from_ledger(CommStats(), FUGAKU, n_ranks=8) == 0.0
+    out = measured_comm_breakdown({"exchange_let": stat}, FUGAKU, n_ranks=8)
+    assert out["exchange_let"] == pytest.approx(t)
+    # The bandwidth term prices the accumulated per-call critical path, not
+    # n_calls x the all-time busiest call.
+    bw = FUGAKU.network.bandwidth_gb_s * 1e9
+    lopsided = CommStats(
+        n_calls=10, n_messages=80, bytes_total=2 << 20,
+        max_bytes_per_rank=1 << 20, critical_bytes=(1 << 20) + 9 * 1024,
+    )
+    t_lop = comm_seconds_from_ledger(lopsided, FUGAKU, n_ranks=8)
+    assert t_lop < 2 * ((1 << 20) + 9 * 1024) / bw + 1.0e-4  # no 10x inflation
