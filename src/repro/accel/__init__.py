@@ -3,8 +3,37 @@
 The paper's performance story (Sec. 5.2) hinges on never paying for the same
 spatial structure twice in one step: a single tree build serves the force
 walk and the LET export, and one neighbor binning serves every kernel-size
-sweep.  This package is that seam for the reproduction — and the future
-home for pluggable kernel backends (numba/GPU) and index-aware sharding.
+sweep.  This package is that seam for the reproduction, and it now also
+owns the pluggable compute backends evaluating the kernels themselves.
+
+Compute-backend contract
+------------------------
+
+:mod:`repro.accel.backends` is a registry of
+:class:`~repro.accel.backends.base.KernelBackend` implementations of the
+four hot kernels (pairwise/tree-walk gravity tile, SPH density gather,
+half-pair hydro scatter).  The rules:
+
+* **Registration** — ``register_backend(name, factory)``; built-ins are
+  ``numpy`` (reference, default), ``numba`` (JIT scalar loops), ``pikg``
+  (DSL-generated kernels) and ``seed`` (the frozen pre-registry kernels,
+  for benchmarking).  Selection: explicit ``cfg.backend`` >
+  ``$REPRO_BACKEND`` > ``numpy``; :class:`ForceEngine` resolves once at
+  construction and threads the instance everywhere, so single-rank and
+  multi-rank (:class:`repro.fdps.distributed.DistributedGravity`) paths
+  hit identical kernels.
+* **Fallback** — a factory whose toolchain is missing raises
+  ``BackendUnavailable``; ``get_backend`` logs one warning and returns
+  ``numpy``, so a bare environment always works.
+* **Invalidation interplay** — backends are *stateless* with respect to
+  the simulation: all spatial caching stays in :class:`SpatialIndex`
+  (grids, trees) and in per-solve
+  :class:`~repro.accel.backends.base.DensityGatherState` objects whose
+  lifetime is one kernel-size solve over one immutable grid.  The
+  invalidation contract below therefore never needs to reach into a
+  backend: dropping the grid/pair caches is sufficient, whatever backend
+  produced the numbers.  Backend instances are process-wide singletons and
+  safe to share between engines.
 
 Caching / invalidation contract
 -------------------------------
@@ -48,7 +77,16 @@ stratified along the chained per-rank Morton orders
 budget).
 """
 
+from repro.accel.backends import available_backends, get_backend, register_backend
 from repro.accel.engine import ForceEngine
 from repro.accel.index import ConcatStratifiedSampler, IndexStats, SpatialIndex
 
-__all__ = ["ConcatStratifiedSampler", "ForceEngine", "IndexStats", "SpatialIndex"]
+__all__ = [
+    "ConcatStratifiedSampler",
+    "ForceEngine",
+    "IndexStats",
+    "SpatialIndex",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]

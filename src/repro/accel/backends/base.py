@@ -1,0 +1,131 @@
+"""The compute-backend contract: the four hot kernels behind one interface.
+
+A :class:`KernelBackend` owns the per-interaction arithmetic of the force
+pipeline — exactly the kernels PIKG generates per ISA in the production code
+(Sec. 3.5, Table 4):
+
+* **gravity tile** (:meth:`KernelBackend.grav_tile`) — the dense
+  (targets x sources) pairwise kernel used by direct summation *and* by the
+  group-vs-interaction-list evaluation inside the tree walk;
+* **density gather** (:meth:`KernelBackend.density_gather`) — the
+  h-iteration inner loop of the SPH kernel-size solve: repeated
+  sum-of-W sweeps over one neighbor binning, then the final density /
+  grad-h sums;
+* **hydro force scatter** (:meth:`KernelBackend.hydro_force_pairs`) — the
+  half-pair momentum/energy/signal-velocity evaluation mirrored onto both
+  pair endpoints.
+
+Backends receive *built* spatial structures (a
+:class:`~repro.sph.neighbors.NeighborGrid`, pair lists) and never own
+caching or invalidation — that stays with
+:class:`~repro.accel.SpatialIndex` / :class:`~repro.accel.ForceEngine`, so
+every backend sees identical inputs and the physics is backend-independent
+by construction (asserted by the parity tests in
+``tests/accel/test_backends.py``).
+
+A backend may implement only a subset natively and inherit the rest: the
+``pikg`` backend, for instance, overrides the kernels its DSL expresses and
+shares the reference implementation elsewhere.  Construction raises
+:class:`BackendUnavailable` when a required toolchain (e.g. numba) is
+missing; the registry in :mod:`repro.accel.backends` catches it and falls
+back to ``numpy`` with a logged warning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.constants import GRAV_CONST
+
+
+class BackendUnavailable(RuntimeError):
+    """Raised by a backend factory whose toolchain is not importable."""
+
+
+class DensityGatherState:
+    """Per-solve state of the density gather kernel.
+
+    Built once per kernel-size solve over one neighbor binning; the h
+    iteration calls :meth:`weight_sum` per sweep and :meth:`finalize` once
+    after convergence.  Implementations may cache whatever per-candidate
+    state (compacted pair lists, last-sweep kernel values) makes repeated
+    sweeps cheap — positions are immutable for the lifetime of the object.
+    """
+
+    def weight_sum(self, h: np.ndarray) -> np.ndarray:
+        """Sum_j W(r_ij, h_i) per target (gather, including self)."""
+        raise NotImplementedError
+
+    def finalize(
+        self, h: np.ndarray, mass: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Final sums at the converged h: (dens, drho_dh, counts, pairs).
+
+        ``pairs`` is the gather edge list (i, j, r) with r_ij < h_i
+        including self — the list the velocity estimators and the step-7
+        fast path reuse.
+        """
+        raise NotImplementedError
+
+
+class KernelBackend:
+    """Abstract backend: scalar/vector implementations of the hot kernels."""
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    # ------------------------------------------------------------- gravity
+    def grav_tile(
+        self,
+        target_pos: np.ndarray,
+        target_eps: np.ndarray,
+        source_pos: np.ndarray,
+        source_mass: np.ndarray,
+        source_eps: np.ndarray,
+        exclude_self: bool = False,
+        mixed: bool = False,
+        g: float = GRAV_CONST,
+    ) -> np.ndarray:
+        """Pairwise gravity of all sources on all targets -> (n_t, 3).
+
+        ``exclude_self`` masks zero-separation pairs; ``mixed`` evaluates in
+        float32 relative to the target-group centroid with float64
+        accumulation (the production mixed-precision scheme of Sec. 4.3).
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- density
+    def density_gather(self, grid, pos: np.ndarray, kernel) -> DensityGatherState:
+        """Per-solve gather state over one built neighbor grid.
+
+        ``grid`` covers exactly ``pos`` and every search radius the solve
+        will use (the caller rebuilds it when h outgrows the cell size).
+        """
+        raise NotImplementedError
+
+    # --------------------------------------------------------- hydro force
+    def hydro_force_pairs(
+        self,
+        pos: np.ndarray,
+        vel: np.ndarray,
+        mass: np.ndarray,
+        h: np.ndarray,
+        dens: np.ndarray,
+        pres: np.ndarray,
+        csnd: np.ndarray,
+        omega: np.ndarray,
+        balsara: np.ndarray | None,
+        alpha_visc: float,
+        beta_visc: float,
+        kernel,
+        grid=None,
+        pairs: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Half-pair hydro kernel -> (acc, du_dt, v_signal, pairs).
+
+        ``pairs`` supplies a previously returned half-pair list (i, j, r)
+        and skips the search (the integrator's step-7 fast path); otherwise
+        the search runs against ``grid``.  ``balsara`` is the per-particle
+        viscosity limiter f_i (``None`` disables the switch).
+        """
+        raise NotImplementedError

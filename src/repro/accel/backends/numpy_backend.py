@@ -1,0 +1,300 @@
+"""NumPy reference backend (default) and the frozen ``seed`` baseline.
+
+``numpy`` is the tuned vectorized implementation every other backend must
+agree with:
+
+* scatter-adds are :func:`np.bincount` reductions instead of ``np.add.at``
+  (same element order per target, so the sums are bit-identical — asserted
+  in the tests — while avoiding the ufunc.at inner-loop overhead);
+* the density/force pair searches run over the grid's *compacted* candidate
+  list (``r < cell`` once, instead of re-filtering the full 27-stencil list
+  every sweep);
+* repeated kernel-size sweeps only re-evaluate targets whose h actually
+  changed (the converged majority keeps its cached partial sum, which is
+  exactly the value a full recompute would produce);
+* the gravity source-axis tile is sized from a temporary-buffer budget
+  (``REPRO_GRAV_CHUNK`` / ``REPRO_GRAV_TEMP_MB``) instead of a fixed 4096.
+
+``seed`` reproduces the pre-backend kernels exactly (``np.add.at`` scatter,
+full candidate re-filtering, fixed 4096-source chunks): it exists so
+``benchmarks/bench_backend_kernels.py`` can report speedups against the
+seed-state cost profile from inside the same harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel.backends.base import DensityGatherState, KernelBackend
+from repro.sph.neighbors import NeighborGrid
+from repro.util.constants import GRAV_CONST
+
+
+class _NumpyDensityGather(DensityGatherState):
+    """Candidate-list gather with changed-target sweep reuse."""
+
+    #: Use the r<cell compacted candidates and skip unchanged targets.
+    compact = True
+    active_set = True
+
+    def __init__(self, grid: NeighborGrid, pos: np.ndarray, kernel) -> None:
+        self.kernel = kernel
+        self.n = len(pos)
+        if self.compact:
+            self.ci, self.cj, self.cr = grid.compact_self_pairs()
+        else:
+            self.ci, self.cj, self.cr = grid.self_pairs()
+        self._h_prev: np.ndarray | None = None
+        self._wsum: np.ndarray | None = None
+
+    def weight_sum(self, h: np.ndarray) -> np.ndarray:
+        i, r = self.ci, self.cr
+        if not self.active_set or self._h_prev is None:
+            keep = r < h[i]
+            ii = i[keep]
+            w = self.kernel.value(r[keep], h[ii])
+            wsum = np.bincount(ii, weights=w, minlength=self.n)
+        else:
+            changed = h != self._h_prev
+            if not changed.any():
+                return self._wsum.copy()
+            # Every candidate of a changed target is recomputed in the same
+            # order a full sweep would visit it, so the partial sums match a
+            # cold evaluation bit-for-bit; unchanged targets keep theirs.
+            sub = changed[i]
+            i_s, r_s = i[sub], r[sub]
+            keep = r_s < h[i_s]
+            ii = i_s[keep]
+            w = self.kernel.value(r_s[keep], h[ii])
+            upd = np.bincount(ii, weights=w, minlength=self.n)
+            wsum = self._wsum.copy()
+            wsum[changed] = upd[changed]
+        if self.active_set:
+            self._h_prev = h.copy()
+            self._wsum = wsum.copy()
+        return wsum
+
+    def finalize(
+        self, h: np.ndarray, mass: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        i, j, r = self.ci, self.cj, self.cr
+        keep = r < h[i]
+        ii, jj, rr = i[keep], j[keep], r[keep]
+        w = self.kernel.value(rr, h[ii])
+        dens = np.bincount(ii, weights=mass[jj] * w, minlength=self.n)
+        dwdh = self.kernel.dvalue_dh(rr, h[ii])
+        drho_dh = np.bincount(ii, weights=mass[jj] * dwdh, minlength=self.n)
+        counts = np.bincount(ii, minlength=self.n)
+        return dens, drho_dh, counts, (ii, jj, rr)
+
+
+class _SeedDensityGather(_NumpyDensityGather):
+    compact = False
+    active_set = False
+
+
+class NumpyBackend(KernelBackend):
+    """The vectorized reference implementation (default backend)."""
+
+    name = "numpy"
+    _gather_cls = _NumpyDensityGather
+
+    # ------------------------------------------------------------- gravity
+    def _chunk_for(self, n_targets: int) -> int:
+        from repro.gravity.kernels import grav_chunk_size
+
+        return grav_chunk_size(n_targets)
+
+    def grav_tile(
+        self,
+        target_pos: np.ndarray,
+        target_eps: np.ndarray,
+        source_pos: np.ndarray,
+        source_mass: np.ndarray,
+        source_eps: np.ndarray,
+        exclude_self: bool = False,
+        mixed: bool = False,
+        g: float = GRAV_CONST,
+    ) -> np.ndarray:
+        if mixed:
+            return self._grav_tile_mixed(
+                target_pos, target_eps, source_pos, source_mass, source_eps,
+                exclude_self, g,
+            )
+        tp = np.asarray(target_pos, dtype=np.float64)
+        te = np.asarray(target_eps, dtype=np.float64)
+        sp = np.asarray(source_pos, dtype=np.float64)
+        sm = np.asarray(source_mass, dtype=np.float64)
+        se = np.asarray(source_eps, dtype=np.float64)
+        acc = np.zeros_like(tp)
+        chunk = self._chunk_for(len(tp))
+        for s0 in range(0, len(sp), chunk):
+            s1 = min(s0 + chunk, len(sp))
+            d = tp[:, None, :] - sp[None, s0:s1, :]              # (n_t, c, 3)
+            r2 = np.einsum("ijk,ijk->ij", d, d)
+            soft2 = te[:, None] ** 2 + se[None, s0:s1] ** 2
+            denom = (r2 + soft2) ** 1.5
+            w = sm[None, s0:s1] / np.maximum(denom, 1e-300)
+            if exclude_self:
+                w = np.where(r2 <= 0.0, 0.0, w)
+            acc -= g * np.einsum("ij,ijk->ik", w, d)
+        return acc
+
+    def _grav_tile_mixed(
+        self, target_pos, target_eps, source_pos, source_mass, source_eps,
+        exclude_self, g,
+    ) -> np.ndarray:
+        # Positions shift to the target-group centroid and drop to float32;
+        # accumulation and the result stay float64 (Sec. 4.3).
+        tp = np.asarray(target_pos, dtype=np.float64)
+        origin = tp.mean(axis=0)
+        tp32 = (tp - origin).astype(np.float32)
+        sp32 = (np.asarray(source_pos, dtype=np.float64) - origin).astype(np.float32)
+        te32 = np.asarray(target_eps, dtype=np.float32)
+        sm32 = np.asarray(source_mass, dtype=np.float32)
+        se32 = np.asarray(source_eps, dtype=np.float32)
+        acc = np.zeros_like(tp)
+        chunk = self._chunk_for(len(tp))
+        for s0 in range(0, len(sp32), chunk):
+            s1 = min(s0 + chunk, len(sp32))
+            d = tp32[:, None, :] - sp32[None, s0:s1, :]
+            r2 = np.einsum("ijk,ijk->ij", d, d)
+            soft2 = te32[:, None] ** 2 + se32[None, s0:s1] ** 2
+            denom = (r2 + soft2) ** np.float32(1.5)
+            w = sm32[None, s0:s1] / np.maximum(denom, np.float32(1e-30))
+            if exclude_self:
+                w = np.where(r2 <= np.float32(0.0), np.float32(0.0), w)
+            acc -= g * np.einsum("ij,ijk->ik", w, d).astype(np.float64)
+        return acc
+
+    # ------------------------------------------------------------- density
+    def density_gather(self, grid, pos: np.ndarray, kernel) -> DensityGatherState:
+        return self._gather_cls(grid, pos, kernel)
+
+    # --------------------------------------------------------- hydro force
+    def _half_pairs(
+        self, pos: np.ndarray, h: np.ndarray, grid: NeighborGrid | None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Each unordered pair with r < max(h_i, h_j) exactly once."""
+        r_max = float(h.max())
+        if grid is None or not grid.covers(r_max) or grid.n_points != len(pos):
+            grid = NeighborGrid.build(pos, r_max)
+        i, j, r = grid.compact_self_pairs()
+        keep = (r < np.maximum(h[i], h[j])) & (i < j)
+        return i[keep], j[keep], r[keep]
+
+    @staticmethod
+    def _scatter_add_pairs(
+        n: int, i: np.ndarray, j: np.ndarray, w_i: np.ndarray, w_j: np.ndarray,
+        dvec: np.ndarray,
+    ) -> np.ndarray:
+        """acc[i] += w_i * dvec, acc[j] += w_j * dvec via bincount reduction.
+
+        One bincount over the concatenated endpoints accumulates each
+        target's terms in exactly the order the sequential ``np.add.at``
+        pair of the seed kernels visited them, so the result is
+        bit-identical — only the ufunc.at inner-loop overhead is gone.
+        """
+        idx = np.concatenate([i, j])
+        acc = np.empty((n, 3))
+        for ax in range(3):
+            w = np.concatenate([w_i * dvec[:, ax], w_j * dvec[:, ax]])
+            acc[:, ax] = np.bincount(idx, weights=w, minlength=n)
+        return acc
+
+    def hydro_force_pairs(
+        self,
+        pos: np.ndarray,
+        vel: np.ndarray,
+        mass: np.ndarray,
+        h: np.ndarray,
+        dens: np.ndarray,
+        pres: np.ndarray,
+        csnd: np.ndarray,
+        omega: np.ndarray,
+        balsara: np.ndarray | None,
+        alpha_visc: float,
+        beta_visc: float,
+        kernel,
+        grid=None,
+        pairs: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        n = len(pos)
+        dens_safe = np.maximum(dens, 1e-300)
+        if pairs is not None:
+            i, j, r = pairs
+        else:
+            i, j, r = self._half_pairs(pos, h, grid)
+        if len(i) == 0:
+            return np.zeros((n, 3)), np.zeros(n), csnd.copy(), (i, j, r)
+
+        dvec = pos[i] - pos[j]
+        vvec = vel[i] - vel[j]
+        vdotr = np.einsum("ij,ij->i", vvec, dvec)
+
+        gf_i = kernel.grad_factor(r, h[i])   # (1/r) dW/dr at h_i
+        gf_j = kernel.grad_factor(r, h[j])
+        gf_bar = 0.5 * (gf_i + gf_j)
+
+        # --- artificial viscosity ----------------------------------------
+        h_bar = 0.5 * (h[i] + h[j])
+        rho_bar = 0.5 * (dens_safe[i] + dens_safe[j])
+        c_bar = 0.5 * (csnd[i] + csnd[j])
+        mu = h_bar * vdotr / (r**2 + 0.01 * h_bar**2)
+        mu = np.where(vdotr < 0.0, mu, 0.0)  # only approaching pairs dissipate
+        fb = 0.5 * (balsara[i] + balsara[j]) if balsara is not None else 1.0
+        visc = fb * (-alpha_visc * c_bar * mu + beta_visc * mu**2) / rho_bar
+
+        # --- pressure gradient -------------------------------------------
+        p_term_i = pres[i] / (omega[i] * dens_safe[i] ** 2)
+        p_term_j = pres[j] / (omega[j] * dens_safe[j] ** 2)
+        scal = p_term_i * gf_i + p_term_j * gf_j + visc * gf_bar
+        acc = self._scatter_add_pairs(n, i, j, -mass[j] * scal, mass[i] * scal, dvec)
+
+        # --- energy equation ---------------------------------------------
+        du_visc = 0.5 * visc * vdotr * gf_bar
+        du_dt = np.bincount(
+            i, weights=mass[j] * (p_term_i * vdotr * gf_i + du_visc), minlength=n
+        )
+        du_dt += np.bincount(
+            j, weights=mass[i] * (p_term_j * vdotr * gf_j + du_visc), minlength=n
+        )
+
+        # --- signal velocity (Monaghan 1997) -----------------------------
+        w_rel = np.where(r > 0, vdotr / np.maximum(r, 1e-300), 0.0)
+        vsig_pair = csnd[i] + csnd[j] - 3.0 * np.minimum(w_rel, 0.0)
+        v_signal = csnd.copy()
+        np.maximum.at(v_signal, i, vsig_pair)
+        np.maximum.at(v_signal, j, vsig_pair)
+        return acc, du_dt, v_signal, (i, j, r)
+
+
+class SeedBackend(NumpyBackend):
+    """The seed-state kernels, frozen for benchmarking.
+
+    ``np.add.at`` scatter, full candidate re-filtering each sweep, fixed
+    4096-source gravity chunks — the exact cost profile of the repository
+    before the backend registry existed.  Physics-identical to ``numpy``
+    (bit-for-bit on the hydro kernels).
+    """
+
+    name = "seed"
+    _gather_cls = _SeedDensityGather
+
+    def _chunk_for(self, n_targets: int) -> int:
+        return 4096
+
+    def _half_pairs(self, pos, h, grid):
+        from repro.sph.neighbors import neighbor_pairs
+
+        return neighbor_pairs(
+            pos, h, mode="symmetric", include_self=False, grid=grid, half=True
+        )
+
+    @staticmethod
+    def _scatter_add_pairs(n, i, j, w_i, w_j, dvec):
+        acc = np.zeros((n, 3))
+        for ax in range(3):
+            np.add.at(acc[:, ax], i, w_i * dvec[:, ax])
+            np.add.at(acc[:, ax], j, w_j * dvec[:, ax])
+        return acc

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.accel.backends import get_backend
 from repro.accel.index import SpatialIndex
 from repro.fdps.interaction import InteractionCounter
 from repro.fdps.particles import ParticleSet, ParticleType
@@ -42,8 +43,12 @@ class ForceEngine:
 
     ``cfg`` is any object carrying the integrator's numerical switches
     (``theta``, ``n_g``, ``leaf_size``, ``n_ngb``, ``direct_gravity_below``,
-    ``mixed_precision``) — kept duck-typed so :mod:`repro.core` can pass its
-    ``IntegratorConfig`` without an import cycle.
+    ``mixed_precision``, optionally ``backend``) — kept duck-typed so
+    :mod:`repro.core` can pass its ``IntegratorConfig`` without an import
+    cycle.  The compute backend is resolved once at construction
+    (``cfg.backend`` > ``$REPRO_BACKEND`` > ``numpy``) and threaded through
+    every kernel call, so single-rank and multi-rank paths hit identical
+    kernels.
     """
 
     def __init__(
@@ -56,6 +61,7 @@ class ForceEngine:
         self.timers = timers or TimerRegistry()
         self.counter = counter
         self.index = SpatialIndex()
+        self.backend = get_backend(getattr(cfg, "backend", None))
         self._hydro_cache: _HydroCache | None = None
         self._buffers_n = -1
         self._acc_buf: np.ndarray | None = None
@@ -99,7 +105,10 @@ class ForceEngine:
         cfg = self.cfg
         with self.timers.measure(f"{label} Calc_Force"):
             if len(ps) <= cfg.direct_gravity_below:
-                return accel_direct(ps.pos, ps.mass, ps.eps, counter=self.counter)
+                return accel_direct(
+                    ps.pos, ps.mass, ps.eps, counter=self.counter,
+                    backend=self.backend,
+                )
             tree = self.index.tree_for(ps.pos, ps.mass, leaf_size=cfg.leaf_size)
             res = tree_accel(
                 ps.pos,
@@ -111,6 +120,7 @@ class ForceEngine:
                 counter=self.counter,
                 mixed_precision=cfg.mixed_precision,
                 tree=tree,
+                backend=self.backend,
             )
             return res.acc
 
@@ -155,6 +165,7 @@ class ForceEngine:
                 n_ngb=min(cfg.n_ngb, max(gas.size - 1, 1)),
                 counter=self.counter,
                 index=self.index,
+                backend=self.backend,
             )
             # Register the gas scope so box queries (SN region extraction)
             # can answer through the same grid.
@@ -174,6 +185,7 @@ class ForceEngine:
                 curlv=d.curlv,
                 counter=self.counter,
                 grid=d.grid,
+                backend=self.backend,
             )
         acc[gas] = f.acc
         du[gas] = f.du_dt
@@ -227,6 +239,7 @@ class ForceEngine:
                 curlv=curlv,
                 counter=self.counter,
                 pairs=cache.force_pairs,
+                backend=self.backend,
             )
         acc[gas] = f.acc
         du[gas] = f.du_dt

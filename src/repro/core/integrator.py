@@ -65,6 +65,9 @@ class IntegratorConfig:
     n_pool: int = 50
     n_domains: int = 0            # >0 enables decomposition bookkeeping
     seed: int = 0
+    #: Compute backend for the hot kernels (``repro.accel.backends``):
+    #: None resolves $REPRO_BACKEND, then "numpy".
+    backend: str | None = None
 
 
 class BaseIntegrator:

@@ -64,6 +64,9 @@ class DistributedGravity:
         the factorization is the near-cubic one of ``process_grid``).
     decomp_sample : subsample size for (re-)decomposition fits, as in
         :func:`repro.fdps.domain.multisection_bounds`.
+    backend : compute-backend name for the force kernels (None resolves
+        ``$REPRO_BACKEND``, then ``numpy``) — every rank's walk runs the
+        same kernels the single-rank :class:`repro.accel.ForceEngine` uses.
     """
 
     n_ranks: int
@@ -73,6 +76,7 @@ class DistributedGravity:
     use_torus: bool = False
     mixed_precision: bool = False
     decomp_sample: int | None = 100_000
+    backend: str | None = None
     grid: tuple[int, int, int] = field(init=False)
     comm: SimComm = field(init=False)
     #: One spatial index per rank: the cached octree serves the LET export
@@ -87,6 +91,9 @@ class DistributedGravity:
         self.comm = SimComm(self.n_ranks, topology=topo)
         self.indices = [SpatialIndex() for _ in range(self.n_ranks)]
         self._last_work: list[np.ndarray] | None = None
+        from repro.accel.backends import get_backend
+
+        self._backend = get_backend(self.backend)
 
     # ----------------------------------------------------------------- phases
     def decompose(
@@ -197,6 +204,7 @@ class DistributedGravity:
                 extra_pos=imports[rank].pos,
                 extra_mass=imports[rank].mass,
                 tree=trees[rank],
+                backend=self._backend,
             )
             accs.append(res.acc)
             work.append(res.work)

@@ -5,21 +5,51 @@
     \\mathbf{F}_{ij} = -G \\frac{m_i m_j}
         {(r_{ij}^2 + \\epsilon_i^2 + \\epsilon_j^2)^{3/2}} \\mathbf{r}_{ij}
 
-All kernels are vectorized over (targets x sources) tiles and chunk the
-source axis to bound temporary memory; they optionally report interaction
-counts to an :class:`~repro.fdps.interaction.InteractionCounter` for the
-FLOP accounting of Table 3/4.
+The arithmetic lives in the pluggable compute backends of
+:mod:`repro.accel.backends` (numpy reference, numba JIT, PIKG-generated);
+the functions here are the stable entry points: they resolve the backend,
+dispatch the tile, and report interaction counts to an
+:class:`~repro.fdps.interaction.InteractionCounter` for the FLOP accounting
+of Table 3/4.
+
+The numpy backend chunks the source axis to bound temporary memory; the
+tile size comes from :func:`grav_chunk_size` (env-tunable via
+``REPRO_GRAV_CHUNK`` / ``REPRO_GRAV_TEMP_MB``).
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
 from repro.fdps.interaction import InteractionCounter
 from repro.util.constants import GRAV_CONST
 
-#: Source-axis chunk that keeps the (n_i, chunk, 3) temporaries ~O(10 MB).
-_CHUNK = 4096
+#: Default temporary-buffer budget (MiB) for one source-axis tile of the
+#: vectorized kernel; ~64 MiB reproduces the historical 4096-source chunk
+#: at the default interaction-group size of 256 targets.
+DEFAULT_GRAV_TEMP_MB = 64.0
+
+#: float64 temporaries per (target, source) cell of a tile: the (n_t, c, 3)
+#: separation plus four (n_t, c) scalars -> 7 doubles.
+_TILE_DOUBLES = 7
+
+
+def grav_chunk_size(n_targets: int) -> int:
+    """Source-axis tile size for the vectorized pairwise kernel.
+
+    ``REPRO_GRAV_CHUNK`` forces a fixed value; otherwise the chunk is sized
+    so one tile's temporaries fit a ``REPRO_GRAV_TEMP_MB`` (default 64 MiB)
+    budget, clamped to [256, 65536].  Benchmarks record the value actually
+    chosen (``benchmarks/bench_backend_kernels.py``).
+    """
+    forced = os.environ.get("REPRO_GRAV_CHUNK")
+    if forced:
+        return max(int(forced), 16)
+    budget_mb = float(os.environ.get("REPRO_GRAV_TEMP_MB", DEFAULT_GRAV_TEMP_MB))
+    per_source = _TILE_DOUBLES * 8 * max(int(n_targets), 1)
+    return int(np.clip(budget_mb * 2**20 // per_source, 256, 65536))
 
 
 def accel_between(
@@ -31,33 +61,28 @@ def accel_between(
     counter: InteractionCounter | None = None,
     exclude_self: bool = False,
     g: float = GRAV_CONST,
+    backend=None,
+    mixed: bool = False,
 ) -> np.ndarray:
     """Acceleration on targets from sources (double precision).
 
     ``exclude_self`` masks pairs at identical positions (a particle never
     pulls on itself; softening alone would still produce NaN-free zeros, but
-    masking keeps the count ledger exact).
+    masking keeps the count ledger exact).  ``backend`` is a backend name or
+    instance (default: the registry's selection, see
+    :func:`repro.accel.backends.get_backend`); ``mixed`` selects the
+    float32 variant (see :func:`accel_between_mixed`).
     """
-    tp = np.asarray(target_pos, dtype=np.float64)
-    te = np.asarray(target_eps, dtype=np.float64)
-    sp = np.asarray(source_pos, dtype=np.float64)
-    sm = np.asarray(source_mass, dtype=np.float64)
-    se = np.zeros(len(sp)) if source_eps is None else np.asarray(source_eps, dtype=np.float64)
+    from repro.accel.backends import get_backend
 
-    acc = np.zeros_like(tp)
-    n_t = len(tp)
-    for s0 in range(0, len(sp), _CHUNK):
-        s1 = min(s0 + _CHUNK, len(sp))
-        d = tp[:, None, :] - sp[None, s0:s1, :]              # (n_t, c, 3)
-        r2 = np.einsum("ijk,ijk->ij", d, d)
-        soft2 = te[:, None] ** 2 + se[None, s0:s1] ** 2
-        denom = (r2 + soft2) ** 1.5
-        w = sm[None, s0:s1] / np.maximum(denom, 1e-300)
-        if exclude_self:
-            w = np.where(r2 <= 0.0, 0.0, w)
-        acc -= g * np.einsum("ij,ijk->ik", w, d)
+    n_src = len(source_pos)
+    se = np.zeros(n_src) if source_eps is None else source_eps
+    acc = get_backend(backend).grav_tile(
+        target_pos, target_eps, source_pos, source_mass, se,
+        exclude_self=exclude_self, mixed=mixed, g=g,
+    )
     if counter is not None:
-        counter.add("gravity", n_t, len(sp))
+        counter.add("gravity", len(acc), n_src)
     return acc
 
 
@@ -70,6 +95,7 @@ def accel_between_mixed(
     counter: InteractionCounter | None = None,
     exclude_self: bool = False,
     g: float = GRAV_CONST,
+    backend=None,
 ) -> np.ndarray:
     """Mixed-precision kernel (Sec. 4.3).
 
@@ -80,32 +106,11 @@ def accel_between_mixed(
     double-precision positions survive upstream — exactly the production
     scheme.
     """
-    tp = np.asarray(target_pos, dtype=np.float64)
-    origin = tp.mean(axis=0)
-    tp32 = (tp - origin).astype(np.float32)
-    sp32 = (np.asarray(source_pos, dtype=np.float64) - origin).astype(np.float32)
-    te32 = np.asarray(target_eps, dtype=np.float32)
-    sm32 = np.asarray(source_mass, dtype=np.float32)
-    se32 = (
-        np.zeros(len(sp32), dtype=np.float32)
-        if source_eps is None
-        else np.asarray(source_eps, dtype=np.float32)
+    return accel_between(
+        target_pos, target_eps, source_pos, source_mass, source_eps,
+        counter=counter, exclude_self=exclude_self, g=g, backend=backend,
+        mixed=True,
     )
-
-    acc = np.zeros_like(tp)
-    for s0 in range(0, len(sp32), _CHUNK):
-        s1 = min(s0 + _CHUNK, len(sp32))
-        d = tp32[:, None, :] - sp32[None, s0:s1, :]
-        r2 = np.einsum("ijk,ijk->ij", d, d)
-        soft2 = te32[:, None] ** 2 + se32[None, s0:s1] ** 2
-        denom = (r2 + soft2) ** np.float32(1.5)
-        w = sm32[None, s0:s1] / np.maximum(denom, np.float32(1e-30))
-        if exclude_self:
-            w = np.where(r2 <= np.float32(0.0), np.float32(0.0), w)
-        acc -= g * np.einsum("ij,ijk->ik", w, d).astype(np.float64)
-    if counter is not None:
-        counter.add("gravity", len(tp), len(sp32))
-    return acc
 
 
 def accel_direct(
@@ -114,10 +119,12 @@ def accel_direct(
     eps: np.ndarray,
     counter: InteractionCounter | None = None,
     g: float = GRAV_CONST,
+    backend=None,
 ) -> np.ndarray:
     """Full O(N^2) direct summation — the reference for tree accuracy tests."""
     return accel_between(
-        pos, eps, pos, mass, eps, counter=counter, exclude_self=True, g=g
+        pos, eps, pos, mass, eps, counter=counter, exclude_self=True, g=g,
+        backend=backend,
     )
 
 
@@ -135,8 +142,9 @@ def potential_direct(
     mass = np.asarray(mass, dtype=np.float64)
     eps = np.asarray(eps, dtype=np.float64)
     pot = np.zeros(len(pos))
-    for s0 in range(0, len(pos), _CHUNK):
-        s1 = min(s0 + _CHUNK, len(pos))
+    chunk = grav_chunk_size(len(pos))
+    for s0 in range(0, len(pos), chunk):
+        s1 = min(s0 + chunk, len(pos))
         d = pos[:, None, :] - pos[None, s0:s1, :]
         r2 = np.einsum("ijk,ijk->ij", d, d)
         soft2 = eps[:, None] ** 2 + eps[None, s0:s1] ** 2

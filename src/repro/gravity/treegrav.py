@@ -16,7 +16,6 @@ import numpy as np
 
 from repro.fdps.interaction import InteractionCounter, walk_tree_for_group
 from repro.fdps.tree import Octree
-from repro.gravity.kernels import accel_between, accel_between_mixed
 from repro.util.constants import GRAV_CONST
 
 
@@ -46,8 +45,12 @@ def tree_accel(
     extra_mass: np.ndarray | None = None,
     g: float = GRAV_CONST,
     tree: Octree | None = None,
+    backend=None,
 ) -> TreeGravityResult:
     """Tree acceleration on all particles.
+
+    ``backend`` selects the compute backend evaluating the group-vs-list
+    tiles (name or instance; default: the registry's selection).
 
     ``extra_pos/extra_mass`` inject imported LET matter (pseudo + boundary
     particles from remote ranks); they contribute force but receive none.
@@ -98,7 +101,9 @@ def tree_accel(
             f"expected {len(all_pos)}"
             + (f" (or the {n_local} local ones)" if has_extra else "")
         )
-    kernel = accel_between_mixed if mixed_precision else accel_between
+    from repro.accel.backends import get_backend
+
+    bk = get_backend(backend)
 
     acc = np.zeros_like(pos)
     work = np.zeros(n_local)
@@ -116,16 +121,18 @@ def tree_accel(
         src_pos = np.concatenate([tree.node_com[nodes], all_pos[parts]])
         src_mass = np.concatenate([tree.node_mass[nodes], all_mass[parts]])
         src_eps = np.concatenate([np.zeros(len(nodes)), all_eps[parts]])
-        acc[targets] = kernel(
+        acc[targets] = bk.grav_tile(
             pos[targets],
             eps[targets],
             src_pos,
             src_mass,
             src_eps,
-            counter=counter,
             exclude_self=True,
+            mixed=mixed_precision,
             g=g,
         )
+        if counter is not None:
+            counter.add("gravity", len(targets), len(src_mass))
         work[targets] = len(src_mass)
         lists += 1
         total_list += len(src_mass)
@@ -134,9 +141,12 @@ def tree_accel(
     if local_tree_mode:
         # The imports are needed by every group, so evaluate them once for
         # all local targets instead of copying them into each group's list.
-        acc += kernel(
-            pos, eps, extra_pos, extra_mass, extra_eps, counter=counter, g=g
+        acc += bk.grav_tile(
+            pos, eps, extra_pos, extra_mass, extra_eps,
+            mixed=mixed_precision, g=g,
         )
+        if counter is not None:
+            counter.add("gravity", n_local, len(extra_pos))
         work += len(extra_pos)
         total_list += lists * len(extra_pos)
         total_inter += n_local * len(extra_pos)

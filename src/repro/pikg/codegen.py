@@ -1,6 +1,7 @@
 """Code generation: DSL -> compiled Python kernels.
 
-Two backends mirror what the production PIKG does for SIMD targets:
+Three targets mirror what the production PIKG does for SIMD/accelerator
+ISAs:
 
 * **numpy** — fully vectorized over the (N_i, N_j) interaction tile:
   i-variables become shape (N_i, 1[, 3]) views, j-variables (1, N_j[, 3]),
@@ -8,7 +9,14 @@ Two backends mirror what the production PIKG does for SIMD targets:
   is the "SoA conversion + vector loop" transformation PIKG performs for
   SVE/AVX (the NumPy ufunc layer stands in for the SIMD lanes);
 * **scalar** — a plain double loop used as the semantics reference (what
-  the intrinsics must agree with).
+  the intrinsics must agree with);
+* **numba** (:func:`generate_numba_kernel`) — a fully scalarized loop nest
+  (3-vectors unrolled into per-component scalars, exactly the SoA register
+  allocation PIKG performs) that is ``@numba.njit``-compiled when numba is
+  importable and runs as plain Python otherwise.  This is the target the
+  ``pikg`` entry of :mod:`repro.accel.backends` feeds into the production
+  force pipeline, closing the loop between the DSL reproduction and the
+  fast path.
 
 Generated source is compiled with :func:`exec` into a function
 ``kernel(i_arrays: dict, j_arrays: dict) -> dict`` mapping accumulator
@@ -163,3 +171,206 @@ def generate_scalar_kernel(spec: KernelSpec):
     fn.source = source
     fn.spec = spec
     return fn
+
+
+# --------------------------------------------------------------------- numba
+def _emit_scalar(node: ast.AST, comp: int, spec: KernelSpec, local: dict[str, int]) -> str:
+    """Emit one scalar component of an expression.
+
+    3-vector names become ``name_<comp>`` scalars (the component unrolling
+    PIKG performs when it allocates SoA registers); width-1 names emit the
+    same scalar for every component.  Intrinsics are inlined as plain
+    Python/numpy scalar operations so the source needs no call environment
+    beyond ``np`` — which is exactly what ``numba.njit`` wants to see.
+    """
+    if isinstance(node, ast.Expression):
+        return _emit_scalar(node.body, comp, spec, local)
+    if isinstance(node, ast.Constant):
+        return repr(node.value)
+    if isinstance(node, ast.Name):
+        if spec.width_of(node.id, local) == 3:
+            return f"{node.id}_{comp}"
+        return node.id
+    if isinstance(node, ast.UnaryOp):
+        return f"(-{_emit_scalar(node.operand, comp, spec, local)})"
+    if isinstance(node, ast.BinOp):
+        op = {ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/"}[type(node.op)]
+        return (
+            f"({_emit_scalar(node.left, comp, spec, local)} {op} "
+            f"{_emit_scalar(node.right, comp, spec, local)})"
+        )
+    if isinstance(node, ast.Call):
+        fname = node.func.id
+        if fname == "dot":
+            a, b = node.args
+            terms = " + ".join(
+                f"{_emit_scalar(a, c, spec, local)} * {_emit_scalar(b, c, spec, local)}"
+                for c in range(3)
+            )
+            return f"({terms})"
+        args = [_emit_scalar(a, comp, spec, local) for a in node.args]
+        if fname == "sqrt":
+            return f"np.sqrt({args[0]})"
+        if fname == "rsqrt":
+            return f"(1.0 / np.sqrt({args[0]}))"
+        if fname == "abs":
+            return f"abs({args[0]})"
+        if fname in ("min", "max"):
+            return f"{fname}({', '.join(args)})"
+        raise ValueError(f"unknown intrinsic {fname!r}")
+    raise TypeError(type(node).__name__)
+
+
+def _emit_statements(spec: KernelSpec, indent: str, acc_target) -> list[str]:
+    """Body statements, scalarized.
+
+    ``acc_target(name, comp, width)`` formats the accumulation target — a
+    scalar register for the tile layout, an output-row element for the
+    scatter (pairs) layout — so both layouts share one emission of the
+    statement semantics.
+    """
+    lines: list[str] = []
+    local: dict[str, int] = {}
+    for st in spec.statements:
+        width = spec._expr_width(st.expr, local)
+        if st.op == "=":
+            if width == 3:
+                for c in range(3):
+                    lines.append(
+                        f"{indent}{st.target}_{c} = {_emit_scalar(st.expr, c, spec, local)}"
+                    )
+            else:
+                lines.append(f"{indent}{st.target} = {_emit_scalar(st.expr, 0, spec, local)}")
+            local[st.target] = width
+        else:
+            sign = "+" if st.op == "+=" else "-"
+            acc_width = spec.accumulators[st.target]
+            for c in range(acc_width):
+                lines.append(
+                    f"{indent}{acc_target(st.target, c, acc_width)} {sign}= "
+                    f"{_emit_scalar(st.expr, c, spec, local)}"
+                )
+    return lines
+
+
+def _unpack_vars(names: dict[str, int], row: str, indent: str) -> list[str]:
+    lines = []
+    for name, width in names.items():
+        if width == 3:
+            for c in range(3):
+                lines.append(f"{indent}{name}_{c} = _a_{name}[{row}, {c}]")
+        else:
+            lines.append(f"{indent}{name} = _a_{name}[{row}]")
+    return lines
+
+
+def generate_numba_kernel(spec: KernelSpec, layout: str = "tile"):
+    """Compile the fully scalarized loop kernel (numba target).
+
+    ``layout="tile"`` emits the dense (N_i x N_j) double loop — the shape
+    PIKG generates for direct/tree-walk gravity — parallelized over targets
+    with ``prange``.  ``layout="pairs"`` emits a single loop over a
+    precomputed edge list ``(ii, jj)`` with scatter accumulation — the
+    shape of the SPH gather/scatter kernels (serial: the scatter races
+    under threads).
+
+    When numba is importable the inner function is ``@njit``-compiled
+    (``fastmath=True``, ``parallel=True`` for the tile layout); otherwise
+    the plain Python source runs as-is, so the target stays usable (and
+    testable) in a bare environment.  The returned wrapper keeps the
+    ``kernel(i_arrays, j_arrays[, ii, jj])`` dict convention of the other
+    generators and carries ``.source`` / ``.spec`` / ``.inner`` /
+    ``.jitted``.
+    """
+    if layout not in ("tile", "pairs"):
+        raise ValueError(f"unknown layout {layout!r}")
+    i_args = [f"_a_{n}" for n in spec.i_vars]
+    j_args = [f"_a_{n}" for n in spec.j_vars]
+    if layout == "tile":
+        params = ", ".join(i_args + j_args)
+    else:
+        params = ", ".join(["_ii", "_jj", "_n_i"] + i_args + j_args)
+    lines = [f"def {spec.name}({params}):"]
+    if layout == "tile":
+        lines.append(f"    _ni = _a_{next(iter(spec.i_vars))}.shape[0]")
+        lines.append(f"    _nj = _a_{next(iter(spec.j_vars))}.shape[0]")
+    else:
+        lines.append("    _ni = _n_i")
+    for name, width in spec.accumulators.items():
+        shape = "(_ni, 3)" if width == 3 else "_ni"
+        lines.append(f"    {name}_out = np.zeros({shape})")
+    def _out_elem(name: str, comp: int, width: int) -> str:
+        return f"{name}_out[_i, {comp}]" if width == 3 else f"{name}_out[_i]"
+
+    if layout == "tile":
+        lines.append("    for _i in _prange(_ni):")
+        lines.extend(_unpack_vars(spec.i_vars, "_i", " " * 8))
+        for name, width in spec.accumulators.items():
+            for c in range(width):
+                lines.append(f"        _acc_{name}_{c} = 0.0")
+        lines.append("        for _j in range(_nj):")
+        lines.extend(_unpack_vars(spec.j_vars, "_j", " " * 12))
+        # Accumulate into per-target scalar registers inside the j loop...
+        lines.extend(
+            _emit_statements(spec, " " * 12, lambda n, c, w: f"_acc_{n}_{c}")
+        )
+        # ...then spill them to the output rows once per target.
+        for name, width in spec.accumulators.items():
+            for c in range(width):
+                lines.append(f"        {_out_elem(name, c, width)} = _acc_{name}_{c}")
+    else:
+        lines.append("    for _p in range(_ii.shape[0]):")
+        lines.append("        _i = _ii[_p]")
+        lines.append("        _j = _jj[_p]")
+        lines.extend(_unpack_vars(spec.i_vars, "_i", " " * 8))
+        lines.extend(_unpack_vars(spec.j_vars, "_j", " " * 8))
+        # Scatter layout accumulates straight into the output rows.
+        lines.extend(_emit_statements(spec, " " * 8, _out_elem))
+    rets = ", ".join(f"{n}_out" for n in spec.accumulators)
+    lines.append(f"    return ({rets},)")
+    source = "\n".join(lines)
+
+    try:
+        import numba
+
+        env: dict = {"np": np, "_prange": numba.prange}
+        exec(source, env)
+        inner = numba.njit(fastmath=True, parallel=(layout == "tile"))(env[spec.name])
+        jitted = True
+    except ImportError:
+        env = {"np": np, "_prange": range}
+        exec(source, env)
+        inner = env[spec.name]
+        jitted = False
+
+    def _gather(arrays: dict, names: dict[str, int]) -> list[np.ndarray]:
+        out = []
+        for name, width in names.items():
+            a = np.ascontiguousarray(arrays[name], dtype=np.float64)
+            out.append(a.reshape(-1, 3) if width == 3 else a.reshape(-1))
+        return out
+
+    if layout == "tile":
+
+        def kernel(i_arrays, j_arrays):
+            outs = inner(*_gather(i_arrays, spec.i_vars), *_gather(j_arrays, spec.j_vars))
+            return dict(zip(spec.accumulators, outs))
+
+    else:
+
+        def kernel(i_arrays, j_arrays, ii, jj):
+            i_in = _gather(i_arrays, spec.i_vars)
+            n_i = len(i_in[0])
+            outs = inner(
+                np.ascontiguousarray(ii, dtype=np.int64),
+                np.ascontiguousarray(jj, dtype=np.int64),
+                n_i, *i_in, *_gather(j_arrays, spec.j_vars),
+            )
+            return dict(zip(spec.accumulators, outs))
+
+    kernel.source = source
+    kernel.spec = spec
+    kernel.inner = inner
+    kernel.jitted = jitted
+    kernel.layout = layout
+    return kernel

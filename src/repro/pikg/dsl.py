@@ -233,3 +233,20 @@ t2 = t * t
 w = t2 * t2 * (1.0 + 4.0 * q)
 rho += 3.3422538049298023 * hinv_i * hinv_i * hinv_i * m_j * w
 """
+
+#: SPH density with the M4 cubic spline (the library default kernel), in the
+#: same branch-free style: the classic two-branch piecewise polynomial is
+#: the difference of two truncated cubics,
+#: w(q) = 2 [max(1-q, 0)^3 - 4 max(1/2 - q, 0)^3], sigma = 8/pi — so one
+#: straight-line DSL body covers both segments and the q >= 1 cutoff.
+CUBIC_DENSITY_DSL = """
+i: xi[3], hinv_i
+j: xj[3], m_j
+acc: rho
+rij = xi - xj
+q = sqrt(dot(rij, rij)) * hinv_i
+t1 = max(1.0 - q, 0.0)
+t2 = max(0.5 - q, 0.0)
+w = 2.0 * (t1 * t1 * t1 - 4.0 * t2 * t2 * t2)
+rho += 2.5464790894703255 * hinv_i * hinv_i * hinv_i * m_j * w
+"""

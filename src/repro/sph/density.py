@@ -23,7 +23,7 @@ import numpy as np
 from repro.fdps.interaction import InteractionCounter
 from repro.sph.eos import pressure, sound_speed_from_density
 from repro.sph.kernels import DEFAULT_KERNEL, SPHKernel
-from repro.sph.neighbors import NeighborGrid, neighbor_pairs
+from repro.sph.neighbors import NeighborGrid
 
 
 @dataclass
@@ -56,6 +56,7 @@ def compute_density(
     tol: float = 0.05,
     counter: InteractionCounter | None = None,
     index=None,
+    backend=None,
 ) -> DensityResult:
     """Solve for h and compute density and companion fields.
 
@@ -65,34 +66,43 @@ def compute_density(
     sweep and reused by every subsequent one, rebinning only when ``max(h)``
     outgrows the cell size; pass ``index`` (a
     :class:`repro.accel.SpatialIndex`) to source the grid from a shared
-    cache instead.
+    cache instead.  The gather sums run on the selected compute backend
+    (name or instance; see :func:`repro.accel.backends.get_backend`), which
+    keeps per-solve state so repeated sweeps over one grid stay cheap.
     """
+    from repro.accel.backends import get_backend
+
     pos = np.asarray(pos, dtype=np.float64)
     vel = np.asarray(vel, dtype=np.float64)
     mass = np.asarray(mass, dtype=np.float64)
     n = len(pos)
     h = np.asarray(h_guess, dtype=np.float64).copy()
+    bk = get_backend(backend)
 
     kernel_volume = 4.0 * np.pi / 3.0
     used_iter = 0
-    i = j = r = None
     grid: NeighborGrid | None = None
+    gather = None
     grid_builds = 0
     for it in range(max_iter):
         used_iter = it + 1
         h_max = float(h.max())
         if index is not None:
-            grid = index.grid_for(pos, h_max)
+            new_grid = index.grid_for(pos, h_max)
         elif grid is None or not grid.covers(h_max):
-            grid = NeighborGrid.build(pos, h_max)
+            new_grid = NeighborGrid.build(pos, h_max)
             grid_builds += 1
-        i, j, r = neighbor_pairs(pos, h, mode="gather", include_self=True, grid=grid)
+        else:
+            new_grid = grid
+        if gather is None or new_grid is not grid:
+            # First sweep, or h outgrew the binning: new per-solve state.
+            grid = new_grid
+            gather = bk.density_gather(grid, pos, kernel)
         # Smoothed neighbor number: N(h) = (4 pi / 3) h^3 sum_j W(r_ij, h).
         # Unlike the discrete count this is continuous in h, so the
         # multiplicative fixed point converges instead of oscillating
         # between neighbor shells (the standard GADGET/ASURA device).
-        w = kernel.value(r, h[i])
-        n_smooth = kernel_volume * h**3 * np.bincount(i, weights=w, minlength=n)
+        n_smooth = kernel_volume * h**3 * gather.weight_sum(h)
         n_smooth = np.maximum(n_smooth, 0.1)
         converged = np.abs(n_smooth - n_ngb) <= tol * n_ngb
         if converged.all():
@@ -100,25 +110,20 @@ def compute_density(
         fac = np.clip((float(n_ngb) / n_smooth) ** (1.0 / 3.0), 0.7, 1.5)
         h[~converged] *= fac[~converged]
 
-    assert i is not None and j is not None and r is not None
+    assert gather is not None
+    dens, drho_dh, counts, pairs = gather.finalize(h, mass)
     if counter is not None:
-        counter.add("hydro_density", 1, len(i))
-
-    w = kernel.value(r, h[i])
-    dens = np.bincount(i, weights=mass[j] * w, minlength=n)
+        counter.add("hydro_density", 1, len(pairs[0]))
 
     # grad-h term: Omega_i = 1 + (h_i / 3 rho_i) d rho_i / d h_i.
-    dwdh = kernel.dvalue_dh(r, h[i])
-    drho_dh = np.bincount(i, weights=mass[j] * dwdh, minlength=n)
     dens_safe = np.maximum(dens, 1e-300)
     omega = 1.0 + h / (3.0 * dens_safe) * drho_dh
     omega = np.clip(omega, 0.2, 5.0)  # guard against pathological geometry
 
-    divv, curlv = _velocity_estimators((i, j, r), pos, vel, mass, h, dens_safe, kernel)
+    divv, curlv = _velocity_estimators(pairs, pos, vel, mass, h, dens_safe, kernel)
 
     pres = pressure(dens, u)
     csnd = sound_speed_from_density(dens, pres)
-    counts = np.bincount(i, minlength=n)
 
     return DensityResult(
         h=h,
@@ -132,7 +137,7 @@ def compute_density(
         iterations=used_iter,
         grid_builds=grid_builds,
         grid=grid,
-        pairs=(i, j, r),
+        pairs=pairs,
     )
 
 

@@ -22,6 +22,10 @@ sign flip the antisymmetry dictates.  Momentum conservation therefore holds
 to machine precision by construction (the i and j contributions are the
 same product scaled by m_j and m_i) while the kernel work is half that of
 the ordered-pair formulation — verified property-style in the test suite.
+
+The per-pair arithmetic and the scatter reduction run on the selected
+compute backend (:mod:`repro.accel.backends`): vectorized
+bincount-reduction on ``numpy``, a fused jitted loop on ``numba``.
 """
 
 from __future__ import annotations
@@ -32,7 +36,7 @@ import numpy as np
 
 from repro.fdps.interaction import InteractionCounter
 from repro.sph.kernels import DEFAULT_KERNEL, SPHKernel
-from repro.sph.neighbors import NeighborGrid, neighbor_pairs
+from repro.sph.neighbors import NeighborGrid
 
 
 @dataclass
@@ -61,6 +65,7 @@ def compute_hydro_forces(
     counter: InteractionCounter | None = None,
     grid: NeighborGrid | None = None,
     pairs: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+    backend=None,
 ) -> HydroForceResult:
     """Evaluate hydro accelerations and energy rates for all particles.
 
@@ -68,81 +73,37 @@ def compute_hydro_forces(
     the pair search; ``pairs`` skips the search entirely by supplying a
     previously returned half-pair edge list ``(i, j, r)`` — valid only while
     positions and kernel sizes are unchanged (the step-7 fast path of the
-    integrator, where only the internal energy moved).
+    integrator, where only the internal energy moved).  ``backend`` is a
+    compute-backend name or instance (default: the registry's selection).
     """
+    from repro.accel.backends import get_backend
+
     pos = np.asarray(pos, dtype=np.float64)
     vel = np.asarray(vel, dtype=np.float64)
     mass = np.asarray(mass, dtype=np.float64)
+    h = np.asarray(h, dtype=np.float64)
+    dens = np.asarray(dens, dtype=np.float64)
+    pres = np.asarray(pres, dtype=np.float64)
+    csnd = np.asarray(csnd, dtype=np.float64)
     n = len(pos)
-    omega = np.ones(n) if omega is None else np.asarray(omega)
-    dens_safe = np.maximum(np.asarray(dens, dtype=np.float64), 1e-300)
+    omega = np.ones(n) if omega is None else np.asarray(omega, dtype=np.float64)
 
-    if pairs is not None:
-        i, j, r = pairs
-    else:
-        i, j, r = neighbor_pairs(
-            pos, h, mode="symmetric", include_self=False, grid=grid, half=True
+    if divv is not None and curlv is not None:
+        # Per-particle Balsara limiter; the backend averages it per pair.
+        balsara = np.abs(divv) / (
+            np.abs(divv) + np.asarray(curlv) + 1e-4 * csnd / np.maximum(h, 1e-300)
         )
+    else:
+        balsara = None
+
+    acc, du_dt, v_signal, out_pairs = get_backend(backend).hydro_force_pairs(
+        pos, vel, mass, h, dens, pres, csnd, omega, balsara,
+        alpha_visc, beta_visc, kernel, grid=grid, pairs=pairs,
+    )
+    n_pairs = len(out_pairs[0])
     if counter is not None:
         # Each unordered pair is two interactions of the ordered formulation.
-        counter.add("hydro_force", 2, len(i))
-    if len(i) == 0:
-        return HydroForceResult(
-            acc=np.zeros((n, 3)),
-            du_dt=np.zeros(n),
-            v_signal=np.asarray(csnd, dtype=np.float64).copy(),
-            n_pairs=0,
-            pairs=(i, j, r),
-        )
-
-    dvec = pos[i] - pos[j]
-    vvec = vel[i] - vel[j]
-    vdotr = np.einsum("ij,ij->i", vvec, dvec)
-
-    gf_i = kernel.grad_factor(r, h[i])   # (1/r) dW/dr at h_i
-    gf_j = kernel.grad_factor(r, h[j])
-    gf_bar = 0.5 * (gf_i + gf_j)
-
-    # --- artificial viscosity -------------------------------------------------
-    h_bar = 0.5 * (h[i] + h[j])
-    rho_bar = 0.5 * (dens_safe[i] + dens_safe[j])
-    c_bar = 0.5 * (csnd[i] + csnd[j])
-    mu = h_bar * vdotr / (r**2 + 0.01 * h_bar**2)
-    mu = np.where(vdotr < 0.0, mu, 0.0)  # only approaching pairs dissipate
-    if divv is not None and curlv is not None:
-        f_i = np.abs(divv) / (np.abs(divv) + curlv + 1e-4 * csnd / np.maximum(h, 1e-300))
-        balsara = 0.5 * (f_i[i] + f_i[j])
-    else:
-        balsara = 1.0
-    visc = balsara * (-alpha_visc * c_bar * mu + beta_visc * mu**2) / rho_bar
-
-    # --- pressure gradient -----------------------------------------------------
-    # All per-pair factors are symmetric in (i, j) except the mass weight and
-    # the separation sign, so one evaluation feeds both endpoints.
-    p_term_i = pres[i] / (omega[i] * dens_safe[i] ** 2)
-    p_term_j = pres[j] / (omega[j] * dens_safe[j] ** 2)
-    scal = p_term_i * gf_i + p_term_j * gf_j + visc * gf_bar
-
-    acc = np.zeros((n, 3))
-    w_ij = mass[j] * scal   # i receives -w_ij * dvec
-    w_ji = mass[i] * scal   # j receives +w_ji * dvec
-    for ax in range(3):
-        np.add.at(acc[:, ax], i, -w_ij * dvec[:, ax])
-        np.add.at(acc[:, ax], j, w_ji * dvec[:, ax])
-
-    # --- energy equation --------------------------------------------------------
-    # v_ji . r_ji == v_ij . r_ij, so the same vdotr serves both endpoints.
-    du_visc = 0.5 * visc * vdotr * gf_bar
-    du_dt = np.bincount(i, weights=mass[j] * (p_term_i * vdotr * gf_i + du_visc), minlength=n)
-    du_dt += np.bincount(j, weights=mass[i] * (p_term_j * vdotr * gf_j + du_visc), minlength=n)
-
-    # --- signal velocity (Monaghan 1997) ----------------------------------------
-    w_rel = np.where(r > 0, vdotr / np.maximum(r, 1e-300), 0.0)
-    vsig_pair = csnd[i] + csnd[j] - 3.0 * np.minimum(w_rel, 0.0)
-    v_signal = np.asarray(csnd, dtype=np.float64).copy()
-    np.maximum.at(v_signal, i, vsig_pair)
-    np.maximum.at(v_signal, j, vsig_pair)
-
+        counter.add("hydro_force", 2, n_pairs)
     return HydroForceResult(
-        acc=acc, du_dt=du_dt, v_signal=v_signal, n_pairs=len(i), pairs=(i, j, r)
+        acc=acc, du_dt=du_dt, v_signal=v_signal, n_pairs=n_pairs, pairs=out_pairs
     )

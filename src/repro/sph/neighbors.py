@@ -43,6 +43,11 @@ class NeighborGrid:
     _self_pairs: tuple[np.ndarray, np.ndarray, np.ndarray] | None = field(
         default=None, repr=False, compare=False
     )
+    # Compacted variant: candidates with r < cell only (see
+    # :meth:`compact_self_pairs`).
+    _compact_pairs: tuple[np.ndarray, np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @classmethod
     def build(cls, pos: np.ndarray, cell: float) -> "NeighborGrid":
@@ -134,9 +139,57 @@ class NeighborGrid:
             self._self_pairs = (i, j, r)
         return self._self_pairs
 
+    def compact_self_pairs(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Candidate pairs (i, j, r) compacted to ``r < cell``.
+
+        Any search this grid can answer exactly uses a radius <= the cell
+        size (:meth:`covers`), so stencil candidates at r >= cell can never
+        survive a distance filter — dropping them once shrinks the cached
+        list ~6x (sphere-to-stencil volume ratio) and every later sweep
+        filters the small list.  Built directly per stencil offset (squared
+        distances, sqrt only on survivors) without materializing the full
+        list; kept pairs appear in exactly the order :meth:`self_pairs`
+        would yield them, so downstream scatter sums are bit-identical.
+        """
+        if self._compact_pairs is None:
+            if self._self_pairs is not None:
+                i, j, r = self._self_pairs
+                keep = r < self.cell
+                self._compact_pairs = (i[keep], j[keep], r[keep])
+            else:
+                cell2 = self.cell * self.cell
+                qc = self._query_cells(self.pos)
+                out_i: list[np.ndarray] = []
+                out_j: list[np.ndarray] = []
+                out_r: list[np.ndarray] = []
+                for dx in (-1, 0, 1):
+                    for dy in (-1, 0, 1):
+                        for dz in (-1, 0, 1):
+                            rep_q, slots = self._slots_for_offset(qc, (dx, dy, dz))
+                            if not len(rep_q):
+                                continue
+                            jj = self.order[slots]
+                            d = self.pos[rep_q] - self.pos[jj]
+                            d2 = np.einsum("ij,ij->i", d, d)
+                            keep = d2 < cell2
+                            out_i.append(rep_q[keep])
+                            out_j.append(jj[keep])
+                            out_r.append(np.sqrt(d2[keep]))
+                if out_i:
+                    self._compact_pairs = (
+                        np.concatenate(out_i),
+                        np.concatenate(out_j),
+                        np.concatenate(out_r),
+                    )
+                else:
+                    empty = np.empty(0, dtype=np.int64)
+                    self._compact_pairs = (empty, empty, np.empty(0))
+        return self._compact_pairs
+
     def release_pairs(self) -> None:
-        """Drop the cached candidate list (the largest transient of a step)."""
+        """Drop the cached candidate lists (the largest transients of a step)."""
         self._self_pairs = None
+        self._compact_pairs = None
 
     # ------------------------------------------------------------ box query
     def points_in_box(self, box_lo: np.ndarray, box_hi: np.ndarray) -> np.ndarray:

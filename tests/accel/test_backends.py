@@ -1,0 +1,276 @@
+"""Backend registry + cross-backend kernel parity.
+
+Every registered backend must reproduce the numpy reference physics: the
+``seed`` baseline bit-for-bit, ``numba``/``pikg`` to 1e-10 relative
+tolerance (their scalar loops reassociate sums).  The numba backend runs
+here in pure-Python mode when numba isn't installed — the jitted kernels
+are the same source, exercised by the CI leg that installs numba with
+``REPRO_BACKEND=numba``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel.backends import (
+    available_backends,
+    get_backend,
+    register_backend,
+    registered_backends,
+)
+from repro.accel.backends.base import KernelBackend
+from repro.accel.backends.numba_backend import HAVE_NUMBA, NumbaBackend
+from repro.core.integrator import IntegratorConfig, SurrogateLeapfrog
+from repro.core.pool import PoolManager
+from repro.fdps.distributed import DistributedGravity
+from repro.fdps.particles import ParticleSet
+from repro.gravity.kernels import accel_between, accel_direct
+from repro.gravity.treegrav import tree_accel
+from repro.sn.turbulence import make_turbulent_box
+from repro.sph.density import compute_density
+from repro.sph.forces import compute_hydro_forces
+from repro.surrogate.model import SedovBlastOracle, SNSurrogate
+from tests.conftest import plummer_positions
+
+RTOL = 1e-10
+
+
+def _alt_backends():
+    """Non-reference backends to check against numpy: (id, instance)."""
+    out = [("seed", get_backend("seed")), ("pikg", get_backend("pikg"))]
+    out.append(("numba-py", NumbaBackend(force_python=True)))
+    if HAVE_NUMBA:
+        out.append(("numba-jit", get_backend("numba")))
+    return out
+
+
+ALT_BACKENDS = _alt_backends()
+ALT_IDS = [name for name, _ in ALT_BACKENDS]
+ALT_ONLY = [bk for _, bk in ALT_BACKENDS]
+
+
+@pytest.fixture
+def cluster():
+    rng = np.random.default_rng(7)
+    n = 150
+    pos = rng.random((n, 3)) * 4.0
+    vel = rng.normal(size=(n, 3)) * 0.2
+    mass = rng.uniform(0.3, 0.7, n)
+    u = rng.uniform(0.5, 2.0, n)
+    h0 = np.full(n, 0.9)
+    return pos, vel, mass, u, h0
+
+
+# ------------------------------------------------------------------- registry
+def test_registry_contents():
+    assert {"numpy", "seed", "numba", "pikg"} <= set(registered_backends())
+    avail = available_backends()
+    assert "numpy" in avail and "seed" in avail and "pikg" in avail
+    assert ("numba" in avail) == HAVE_NUMBA
+
+
+def test_get_backend_resolution(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    assert get_backend().name == "numpy"
+    monkeypatch.setenv("REPRO_BACKEND", "seed")
+    assert get_backend().name == "seed"
+    # Explicit name beats the environment; instances pass through.
+    assert get_backend("numpy").name == "numpy"
+    bk = get_backend("seed")
+    assert get_backend(bk) is bk
+    with pytest.raises(ValueError):
+        get_backend("no-such-backend")
+
+
+def test_numba_gate():
+    bk = get_backend("numba")
+    if HAVE_NUMBA:
+        assert bk.name == "numba"
+    else:
+        # Import-gated: a bare environment falls back to the default.
+        assert bk.name == "numpy"
+
+
+def test_register_backend_roundtrip():
+    class Dummy(KernelBackend):
+        name = "dummy-test"
+
+    register_backend("dummy-test", Dummy)
+    try:
+        assert get_backend("dummy-test").name == "dummy-test"
+        with pytest.raises(ValueError):
+            register_backend("dummy-test", Dummy)
+    finally:
+        from repro.accel.backends import _FACTORIES, _INSTANCES
+
+        _FACTORIES.pop("dummy-test")
+        _INSTANCES.pop("dummy-test", None)
+
+
+def test_backend_selection_reaches_engine():
+    ps = make_turbulent_box(n_per_side=5, side=10.0, mean_density=0.05,
+                            temperature=100.0, mach=1.0, seed=3)
+    cfg = IntegratorConfig(backend="seed", enable_star_formation=False)
+    pool = PoolManager(
+        surrogate=SNSurrogate(oracle=SedovBlastOracle(t_after=0.01), n_grid=4, side=10.0),
+        n_pool=2, latency_steps=2,
+    )
+    sim = SurrogateLeapfrog(ps, pool, cfg)
+    assert sim.engine.backend.name == "seed"
+
+
+# ------------------------------------------------------------ gravity parity
+def test_pikg_coincident_unsoftened_pair_is_finite():
+    """The DSL kernel has no coincident-pair mask; the backend must fall
+    back to the reference whenever zero softening could make r2 = 0."""
+    tp = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+    sp = np.array([[0.0, 0.0, 0.0], [3.0, 0.0, 0.0]])
+    zeros = np.zeros(2)
+    ref = accel_between(tp, zeros, sp, np.ones(2), zeros, backend="numpy")
+    out = accel_between(tp, zeros, sp, np.ones(2), zeros, backend="pikg")
+    assert np.isfinite(out).all()
+    np.testing.assert_allclose(out, ref, rtol=RTOL)
+
+
+@pytest.mark.parametrize("bk", ALT_ONLY, ids=ALT_IDS)
+def test_gravity_direct_parity(bk, cluster):
+    pos, _, mass, _, _ = cluster
+    eps = np.full(len(pos), 0.05)
+    ref = accel_direct(pos, mass, eps, backend="numpy")
+    alt = accel_direct(pos, mass, eps, backend=bk)
+    np.testing.assert_allclose(alt, ref, rtol=RTOL, atol=1e-12 * np.abs(ref).max())
+
+
+@pytest.mark.parametrize("bk", ALT_ONLY, ids=ALT_IDS)
+def test_gravity_mixed_parity(bk, cluster):
+    pos, _, mass, _, _ = cluster
+    eps = np.full(len(pos), 0.05)
+    targets = pos[:40]
+    ref = accel_between(targets, eps[:40], pos, mass, eps, exclude_self=True,
+                        backend="numpy")
+    mixed = accel_between(targets, eps[:40], pos, mass, eps, exclude_self=True,
+                          backend=bk)
+    # mixed=False here checks the tile; the float32 variant gets a loose
+    # bound of its own (different backends round differently inside f32).
+    np.testing.assert_allclose(mixed, ref, rtol=RTOL, atol=1e-12 * np.abs(ref).max())
+    from repro.gravity.kernels import accel_between_mixed
+
+    ref32 = accel_between_mixed(targets, eps[:40], pos, mass, eps,
+                                exclude_self=True, backend="numpy")
+    alt32 = accel_between_mixed(targets, eps[:40], pos, mass, eps,
+                                exclude_self=True, backend=bk)
+    scale = np.abs(ref32).max()
+    np.testing.assert_allclose(alt32, ref32, rtol=5e-5, atol=5e-5 * scale)
+
+
+@pytest.mark.parametrize("bk", ALT_ONLY, ids=ALT_IDS)
+def test_tree_walk_parity(bk):
+    rng = np.random.default_rng(11)
+    n = 600
+    pos = plummer_positions(n, a=20.0, rng=rng)
+    mass = rng.uniform(0.5, 2.0, n)
+    eps = np.full(n, 0.4)
+    ref = tree_accel(pos, mass, eps, theta=0.4, backend="numpy").acc
+    alt = tree_accel(pos, mass, eps, theta=0.4, backend=bk).acc
+    np.testing.assert_allclose(alt, ref, rtol=RTOL, atol=1e-12 * np.abs(ref).max())
+
+
+# ------------------------------------------------------------ density parity
+@pytest.mark.parametrize("bk", ALT_ONLY, ids=ALT_IDS)
+def test_density_parity(bk, cluster):
+    pos, vel, mass, u, h0 = cluster
+    ref = compute_density(pos, vel, mass, u, h0, n_ngb=24, backend="numpy")
+    alt = compute_density(pos, vel, mass, u, h0, n_ngb=24, backend=bk)
+    assert alt.iterations == ref.iterations
+    for field in ("h", "dens", "omega", "divv", "curlv", "pres", "csnd"):
+        a, b = getattr(alt, field), getattr(ref, field)
+        np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-12 * np.abs(b).max())
+    np.testing.assert_array_equal(alt.n_neighbors, ref.n_neighbors)
+
+
+# -------------------------------------------------------------- hydro parity
+@pytest.mark.parametrize("bk", ALT_ONLY, ids=ALT_IDS)
+def test_hydro_force_parity(bk, cluster):
+    pos, vel, mass, u, h0 = cluster
+    ref_d = compute_density(pos, vel, mass, u, h0, n_ngb=24, backend="numpy")
+    kwargs = dict(omega=ref_d.omega, divv=ref_d.divv, curlv=ref_d.curlv)
+    ref = compute_hydro_forces(pos, vel, mass, ref_d.h, ref_d.dens, ref_d.pres,
+                               ref_d.csnd, grid=ref_d.grid, backend="numpy", **kwargs)
+    alt = compute_hydro_forces(pos, vel, mass, ref_d.h, ref_d.dens, ref_d.pres,
+                               ref_d.csnd, grid=ref_d.grid, backend=bk, **kwargs)
+    assert alt.n_pairs == ref.n_pairs
+    scale = np.abs(ref.acc).max()
+    np.testing.assert_allclose(alt.acc, ref.acc, rtol=RTOL, atol=1e-11 * scale)
+    np.testing.assert_allclose(alt.du_dt, ref.du_dt, rtol=RTOL,
+                               atol=1e-11 * np.abs(ref.du_dt).max())
+    np.testing.assert_allclose(alt.v_signal, ref.v_signal, rtol=RTOL)
+
+
+def test_seed_backend_bit_consistency(cluster):
+    """Satellite guarantee: bincount scatter == np.add.at scatter, bitwise."""
+    pos, vel, mass, u, h0 = cluster
+    outs = {}
+    for bk in ("numpy", "seed"):
+        d = compute_density(pos, vel, mass, u, h0, n_ngb=24, backend=bk)
+        f = compute_hydro_forces(pos, vel, mass, d.h, d.dens, d.pres, d.csnd,
+                                 omega=d.omega, divv=d.divv, curlv=d.curlv,
+                                 grid=d.grid, backend=bk)
+        outs[bk] = (d, f)
+    d_n, f_n = outs["numpy"]
+    d_s, f_s = outs["seed"]
+    for field in ("h", "dens", "omega", "divv", "curlv"):
+        np.testing.assert_array_equal(getattr(d_n, field), getattr(d_s, field))
+    np.testing.assert_array_equal(f_n.acc, f_s.acc)
+    np.testing.assert_array_equal(f_n.du_dt, f_s.du_dt)
+    np.testing.assert_array_equal(f_n.v_signal, f_s.v_signal)
+
+
+# ---------------------------------------------------- integrator-level parity
+@pytest.mark.parametrize("bk", ALT_ONLY, ids=ALT_IDS)
+def test_whole_step_parity_with_fast_path(bk):
+    """Two full surrogate-leapfrog steps, including the step-7 cached-pair
+    fast path, agree across backends (f64 kernels, no mixed precision)."""
+
+    def run(backend):
+        ps = make_turbulent_box(n_per_side=7, side=12.0, mean_density=0.05,
+                                temperature=300.0, mach=1.5, seed=5)
+        cfg = IntegratorConfig(
+            backend=backend, mixed_precision=False, enable_star_formation=False,
+            direct_gravity_below=100, leaf_size=8, n_g=64,
+        )
+        pool = PoolManager(
+            surrogate=SNSurrogate(oracle=SedovBlastOracle(t_after=0.01),
+                                  n_grid=4, side=12.0),
+            n_pool=2, latency_steps=2,
+        )
+        sim = SurrogateLeapfrog(ps, pool, cfg)
+        sim.run(2)
+        assert sim.engine.fast_path_available
+        return sim.ps
+
+    ref = run("numpy")
+    alt = run(bk)
+    np.testing.assert_allclose(alt.pos, ref.pos, rtol=1e-9,
+                               atol=1e-9 * np.abs(ref.pos).max())
+    np.testing.assert_allclose(alt.vel, ref.vel, rtol=1e-8,
+                               atol=1e-9 * np.abs(ref.vel).max())
+    np.testing.assert_allclose(alt.u, ref.u, rtol=1e-8)
+    np.testing.assert_allclose(alt.dens, ref.dens, rtol=1e-8)
+
+
+# ------------------------------------------------------ distributed parity
+@pytest.mark.parametrize("bk", ALT_ONLY, ids=ALT_IDS)
+def test_distributed_local_tree_parity(bk):
+    """The multi-rank path (cached local trees + LET imports as direct
+    sources) hits identical kernels on every backend."""
+    rng = np.random.default_rng(31)
+    n = 400
+    pos = plummer_positions(n, a=25.0, rng=rng)
+    ps = ParticleSet.from_arrays(
+        pos=pos,
+        mass=rng.uniform(0.5, 2.0, n),
+        eps=np.full(n, 0.5),
+        pid=np.arange(n),
+    )
+    ref = DistributedGravity(n_ranks=4, theta=0.4, backend="numpy").global_accel(ps.copy())
+    alt = DistributedGravity(n_ranks=4, theta=0.4, backend=bk).global_accel(ps.copy())
+    np.testing.assert_allclose(alt, ref, rtol=RTOL, atol=1e-12 * np.abs(ref).max())

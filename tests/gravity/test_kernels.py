@@ -123,18 +123,27 @@ def test_momentum_conservation_property(n, seed):
     assert np.all(np.abs(f_total) / scale < 1e-10)
 
 
-def test_chunking_consistency(rng):
+def test_chunking_consistency(rng, monkeypatch):
     # Results must not depend on the source-axis chunk boundary.
-    from repro.gravity import kernels
-
     pos = rng.normal(0, 10, (300, 3))
     mass = rng.uniform(0.5, 2.0, 300)
     eps = np.full(300, 0.3)
     a_ref = accel_direct(pos, mass, eps)
-    old = kernels._CHUNK
-    try:
-        kernels._CHUNK = 7
-        a_small = accel_direct(pos, mass, eps)
-    finally:
-        kernels._CHUNK = old
+    monkeypatch.setenv("REPRO_GRAV_CHUNK", "16")
+    a_small = accel_direct(pos, mass, eps)
     assert np.allclose(a_ref, a_small)
+
+
+def test_grav_chunk_size_tunable(monkeypatch):
+    from repro.gravity.kernels import grav_chunk_size
+
+    monkeypatch.delenv("REPRO_GRAV_CHUNK", raising=False)
+    monkeypatch.delenv("REPRO_GRAV_TEMP_MB", raising=False)
+    auto = grav_chunk_size(256)
+    assert 256 <= auto <= 65536
+    # Auto-sizing shrinks the tile as the target count grows.
+    assert grav_chunk_size(8192) <= auto
+    monkeypatch.setenv("REPRO_GRAV_TEMP_MB", "8")
+    assert grav_chunk_size(256) < auto
+    monkeypatch.setenv("REPRO_GRAV_CHUNK", "1234")
+    assert grav_chunk_size(256) == 1234
