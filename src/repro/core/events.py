@@ -23,10 +23,18 @@ class SNEvent:
     time: float                 # explosion time [Myr]
     dispatch_step: int          # global step at which the region was sent
     return_step: int            # global step at which the prediction lands
-    pool_rank: int              # which pool node runs the prediction
+    pool_rank: int              # pool node running the prediction (-1: inline)
     n_region_particles: int     # gas particles shipped
-    region_bytes: int = 0       # payload size (for the comm model)
+    region_bytes: int = 0       # request wire bytes (header + packed FIELDS)
     returned: bool = False
+    #: Service-assigned request id (matches responses across the transport).
+    event_id: int = -1
+    #: Base seed of the per-event Gibbs generator (with ``star_pid`` and
+    #: ``dispatch_step``) — makes the prediction order-independent.
+    seed: int = 0
+    #: How the dispatch was served: "pooled", or an overflow outcome
+    #: ("queued", "blocked", "spilled", "oracle").
+    handling: str = "pooled"
 
     @property
     def in_flight_steps(self) -> int:

@@ -212,10 +212,13 @@ class SurrogateLeapfrog(BaseIntegrator):
         dt = cfg.dt
         ps = self.ps
 
-        # (1) identify SNe in [t, t + dt).
+        # (1) identify SNe in [t, t + dt).  The window is open below so an
+        # *overdue* tsn also fires: dispatch marks a star fired with inf,
+        # hence a finite tsn in the past can only mean a checkpoint restore
+        # re-scheduled an SN whose prediction was in flight at save time.
         with self.timers.measure("Identify_SNe"):
             stars = np.flatnonzero(ps.where_type(ParticleType.STAR))
-            local = exploding_between(ps.tsn[stars], self.time, self.time + dt)
+            local = exploding_between(ps.tsn[stars], -np.inf, self.time + dt)
             exploding = stars[local]
 
         # (2) ship each SN region to a pool node.  The cube query runs on
@@ -232,6 +235,10 @@ class SurrogateLeapfrog(BaseIntegrator):
                 )
                 ps.tsn[si] = np.inf  # fires exactly once
                 self.n_sn_events += 1
+            # Ship due batches to the pool workers before the force pass so
+            # inference runs overlapped with (3) instead of landing on the
+            # collect in (4).
+            self.pool.flush(self.step_count)
 
         # (3) KDK without feedback energy.
         if not self._first_forces_done:

@@ -1,8 +1,9 @@
 """``GalaxySimulation`` — the public facade of the library.
 
-Wires together initial conditions, the surrogate pool (with either a
-trained U-Net or the analytic Sedov oracle), and the fixed-timestep
-surrogate leapfrog; exposes run control, diagnostics, and snapshot hooks.
+Wires together initial conditions, the surrogate inference service (with
+either a trained U-Net or the analytic Sedov oracle), and the
+fixed-timestep surrogate leapfrog; exposes run control, diagnostics,
+snapshot hooks, and checkpoint/restore.
 
 Example
 -------
@@ -17,11 +18,14 @@ Example
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.core.integrator import IntegratorConfig, SurrogateLeapfrog
 from repro.core.pool import PoolManager
 from repro.fdps.particles import ParticleSet
 from repro.physics.cooling import CoolingModel
 from repro.physics.star_formation import StarFormationModel
+from repro.serve import OverflowPolicy, SurrogateServer
 from repro.surrogate.model import SedovBlastOracle, SNSurrogate
 
 
@@ -40,6 +44,15 @@ class GalaxySimulation:
     n_pool / latency_steps : the pool sizing rule of Sec. 3.2 — by default
         latency = n_pool so every SN region spends 0.1 Myr worth of global
         steps in flight.
+    serve_transport : ``"sync"`` (in-process, the deterministic default) or
+        ``"process"`` — real worker processes running SN inference fully
+        overlapped with the integration (see :mod:`repro.serve`).  Both
+        produce bit-identical particle state for the same seeds.
+    serve_workers / serve_max_batch / serve_max_wait_steps : service sizing
+        (worker processes, batch coalescing, deadline-aware flush).
+    overflow_policy : what :class:`PoolManager` does when every pool node
+        is busy — ``"queue"`` (legacy), ``"block"``, ``"spill"``, or
+        ``"oracle"`` (:class:`repro.serve.OverflowPolicy`).
     """
 
     def __init__(
@@ -54,24 +67,39 @@ class GalaxySimulation:
         star_formation: StarFormationModel | None = None,
         surrogate_grid: int = 16,
         seed: int = 0,
+        serve_transport: str = "sync",
+        serve_workers: int = 2,
+        serve_max_batch: int = 8,
+        serve_max_wait_steps: int = 1,
+        overflow_policy: OverflowPolicy | str = OverflowPolicy.QUEUE,
     ) -> None:
         cfg = config or IntegratorConfig()
         cfg.dt = dt
         cfg.n_pool = n_pool
         cfg.latency_steps = latency_steps if latency_steps is not None else n_pool
         cfg.seed = seed
+        horizon = cfg.latency_steps * dt      # prediction horizon (0.1 Myr dflt)
         if surrogate is None:
-            horizon = cfg.latency_steps * dt  # prediction horizon (0.1 Myr dflt)
             surrogate = SNSurrogate(
                 oracle=SedovBlastOracle(t_after=horizon),
                 n_grid=surrogate_grid,
                 side=cfg.region_side,
             )
+        server = SurrogateServer(
+            surrogate=surrogate,
+            transport=serve_transport,
+            n_workers=serve_workers,
+            max_batch=serve_max_batch,
+            max_wait_steps=serve_max_wait_steps,
+        )
         self.pool = PoolManager(
             surrogate=surrogate,
             n_pool=cfg.n_pool,
             latency_steps=cfg.latency_steps,
             seed=seed,
+            server=server,
+            overflow_policy=overflow_policy,
+            horizon=horizon,
         )
         self.integrator = SurrogateLeapfrog(
             ps, self.pool, cfg, cooling=cooling, star_formation=star_formation
@@ -111,3 +139,90 @@ class GalaxySimulation:
         t0 = self.time - window
         formed = sum(m for (t, m) in hist if t >= t0)
         return formed / window if window > 0 else 0.0
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut down the inference service (process-transport workers)."""
+        self.pool.close()
+
+    def __enter__(self) -> "GalaxySimulation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------ checkpoint/restore
+    def save(self, path: str | Path) -> None:
+        """Checkpoint this run (see :func:`repro.fdps.io.save_simulation`)."""
+        from repro.fdps.io import save_simulation
+
+        save_simulation(self, path)
+
+    @classmethod
+    def restore(cls, path: str | Path, **overrides) -> "GalaxySimulation":
+        """Rebuild a live run from a :meth:`save` checkpoint.
+
+        Restores the particle state, the integrator clock (``time`` /
+        ``step_count``), ``next_pid``, the SN/SF event counters, the star
+        -formation RNG state, and — when the checkpoint carries them — the
+        stored force arrays, so the first step after a restore is
+        bit-identical to the step an uninterrupted run would have taken.
+        In-flight pool *predictions* are not part of a checkpoint (the
+        paper restarts from the last global step); the save path instead
+        resets those stars' ``tsn`` to their explosion times, so the
+        restored integrator re-dispatches them — overdue SNe fire on the
+        first step after a restore and no event is lost.
+
+        ``overrides`` are passed through to the constructor (e.g. a
+        different ``serve_transport`` or a freshly loaded ``surrogate``).
+        """
+        from repro.fdps.io import load_checkpoint
+
+        from repro.serve import SurrogateSpec
+        from repro.util.logging import get_logger
+
+        state = load_checkpoint(path)
+        meta = state.header.get("extra", {})
+        kwargs: dict = {
+            "dt": meta.get("dt", 2.0e-3),
+            "n_pool": meta.get("n_pool", 50),
+            "latency_steps": meta.get("latency_steps"),
+            "seed": meta.get("seed", 0),
+        }
+        if "integrator_config" in meta:
+            kwargs["config"] = IntegratorConfig(**meta["integrator_config"])
+        if "overflow_policy" in meta:
+            kwargs["overflow_policy"] = meta["overflow_policy"]
+        serve_meta = meta.get("serve") or {}
+        if serve_meta:
+            kwargs["serve_transport"] = serve_meta["transport"]
+            kwargs["serve_workers"] = serve_meta["n_workers"]
+            kwargs["serve_max_batch"] = serve_meta["max_batch"]
+            kwargs["serve_max_wait_steps"] = serve_meta["max_wait_steps"]
+        if meta.get("surrogate_spec") is not None:
+            kwargs["surrogate"] = SurrogateSpec(**meta["surrogate_spec"]).build()
+        elif "surrogate_spec" in meta and "surrogate" not in overrides:
+            get_logger("simulation").warning(
+                "checkpoint %s has no serializable surrogate spec (predictor"
+                "-backed run); restoring with the default Sedov oracle — pass "
+                "restore(surrogate=...) to resume the original model", path,
+            )
+        kwargs.update(overrides)
+        sim = cls(state.ps, **kwargs)
+        integ = sim.integrator
+        integ.time = float(state.header.get("time", 0.0))
+        integ.step_count = int(state.header.get("step", 0))
+        if "next_pid" in meta:
+            integ.next_pid = int(meta["next_pid"])
+        integ.n_sn_events = int(meta.get("n_sn_events", 0))
+        integ.n_sf_events = int(meta.get("n_sf_events", 0))
+        if "rng_state" in meta:
+            integ.rng.bit_generator.state = meta["rng_state"]
+        force_keys = ("grav_acc", "hydro_acc", "du_dt", "vsig")
+        if all(k in state.arrays for k in force_keys):
+            integ._grav_acc = state.arrays["grav_acc"]
+            integ._hydro_acc = state.arrays["hydro_acc"]
+            integ._du_dt = state.arrays["du_dt"]
+            integ._vsig = state.arrays["vsig"]
+            integ._first_forces_done = True
+        return sim

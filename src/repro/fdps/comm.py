@@ -137,9 +137,15 @@ class SimComm:
         return out
 
     # --------------------------------------------------------- point to point
-    def send(self, src: int, dst: int, arr: np.ndarray, tag: int = 0) -> None:
-        """Post a message; delivery happens at the matching :meth:`recv`."""
-        stat = self._stat("p2p")
+    def send(self, src: int, dst: int, arr: np.ndarray, tag: int = 0,
+             label: str = "p2p") -> None:
+        """Post a message; delivery happens at the matching :meth:`recv`.
+
+        ``label`` picks the :class:`CommStats` ledger row — the pool traffic
+        of :mod:`repro.core.pool` uses ``"pool_p2p"`` so the perf model can
+        price main<->pool transfers separately from intra-main exchanges.
+        """
+        stat = self._stat(label)
         per_rank = np.zeros(self.n_ranks, dtype=np.int64)
         per_rank[src] = _nbytes(arr)
         hops = self.topology.hops(src, dst) if self.topology else 1

@@ -11,6 +11,7 @@ upgrades.
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -29,8 +30,15 @@ def save_snapshot(
     step: int = 0,
     extra_meta: dict | None = None,
     compressed: bool = True,
+    extra_arrays: dict[str, np.ndarray] | None = None,
 ) -> None:
-    """Write a particle snapshot (fields + header) to ``path``."""
+    """Write a particle snapshot (fields + header) to ``path``.
+
+    ``extra_arrays`` ride along under ``extra/<name>`` keys — the restore
+    path uses them for the integrator's force arrays; plain
+    :func:`load_snapshot` ignores them, so a checkpoint is also a valid
+    snapshot for any older reader.
+    """
     header = {
         "format_version": FORMAT_VERSION,
         "time": float(time),
@@ -41,11 +49,37 @@ def save_snapshot(
     if extra_meta:
         header["extra"] = extra_meta
     payload = {f"field/{k}": v for k, v in ps.data.items()}
+    if extra_arrays:
+        payload.update(
+            {f"extra/{k}": np.asarray(v) for k, v in extra_arrays.items()}
+        )
     payload["header"] = np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8
     )
     writer = np.savez_compressed if compressed else np.savez
     writer(path, **payload)
+
+
+def _read_snapshot(data, path) -> tuple[ParticleSet, dict]:
+    """Parse (particles, header) from an open ``.npz`` file."""
+    header = json.loads(bytes(data["header"]).decode("utf-8"))
+    n = int(header["n_particles"])
+    ps = ParticleSet.empty(n)
+    for key in data.files:
+        if not key.startswith("field/"):
+            continue
+        name = key[len("field/"):]
+        if name not in FIELDS:
+            _LOG.warning("snapshot %s: skipping unknown field %r", path, name)
+            continue
+        arr = data[key]
+        if len(arr) != n:
+            raise ValueError(
+                f"snapshot {path}: field {name!r} has {len(arr)} rows, "
+                f"header says {n}"
+            )
+        ps.data[name][...] = arr
+    return ps, header
 
 
 def load_snapshot(path: str | Path) -> tuple[ParticleSet, dict]:
@@ -55,45 +89,81 @@ def load_snapshot(path: str | Path) -> tuple[ParticleSet, dict]:
     the current registry does not know are skipped (logged at WARNING).
     """
     with np.load(path) as data:
-        header = json.loads(bytes(data["header"]).decode("utf-8"))
-        n = int(header["n_particles"])
-        ps = ParticleSet.empty(n)
-        for key in data.files:
-            if not key.startswith("field/"):
-                continue
-            name = key[len("field/"):]
-            if name not in FIELDS:
-                _LOG.warning("snapshot %s: skipping unknown field %r", path, name)
-                continue
-            arr = data[key]
-            if len(arr) != n:
-                raise ValueError(
-                    f"snapshot {path}: field {name!r} has {len(arr)} rows, "
-                    f"header says {n}"
-                )
-            ps.data[name][...] = arr
-    return ps, header
+        return _read_snapshot(data, path)
 
 
 def save_simulation(sim, path: str | Path) -> None:
     """Checkpoint a :class:`~repro.core.simulation.GalaxySimulation`.
 
-    Captures the particle state plus the integrator clock and counters;
-    the pool's in-flight jobs are intentionally *not* captured (the paper's
-    checkpointing strategy is the same: restart from the last global step —
-    in-flight predictions are simply re-dispatched on the next SN window).
+    Captures the particle state, the integrator clock and counters, the
+    star-formation RNG state, the pool sizing, and the current force
+    arrays, so :meth:`GalaxySimulation.restore` resumes bit-identically;
+    the pool's in-flight *predictions* are intentionally not captured (the
+    paper's checkpointing strategy is the same: restart from the last
+    global step).  So that those SNe are not lost, the saved ``tsn`` of
+    each in-flight event's star is reset to its explosion time — dispatch
+    marked it fired with ``inf`` — and the restored integrator re-dispatches
+    overdue SNe on its first step.
     """
+    from dataclasses import asdict
+
+    from repro.serve import SurrogateSpec
+
+    integ = sim.integrator
+    pool = sim.pool
+    # Persist what is needed to rebuild the same service: the surrogate
+    # itself only when a spec is derivable (the Sedov-oracle path); a
+    # predictor-backed surrogate must be re-supplied via restore(surrogate=)
+    # — restore() warns in that case.
+    try:
+        surrogate_spec = asdict(SurrogateSpec.from_surrogate(pool.server.local_surrogate))
+    except ValueError:
+        surrogate_spec = None
+    serve_meta = {
+        "transport": pool.server.transport_name,
+        "n_workers": max(1, pool.server.n_workers),
+        "max_batch": pool.server.scheduler.max_batch,
+        "max_wait_steps": pool.server.scheduler.max_wait_steps,
+    }
+    ps_save = sim.ps
+    pending = [e for e in sim.pool.events if not e.returned]
+    n_rescheduled = 0
+    if pending:
+        ps_save = sim.ps.copy()
+        for event in pending:
+            idx = np.flatnonzero(ps_save.pid == event.star_pid)
+            if idx.size:
+                ps_save.tsn[idx] = event.time
+                n_rescheduled += 1
+    extra_arrays = None
+    if integ._first_forces_done:
+        extra_arrays = {
+            "grav_acc": integ._grav_acc,
+            "hydro_acc": integ._hydro_acc,
+            "du_dt": integ._du_dt,
+            "vsig": integ._vsig,
+        }
     save_snapshot(
-        sim.ps,
+        ps_save,
         path,
         time=sim.time,
         step=sim.step_count,
         extra_meta={
-            "n_sn_events": sim.integrator.n_sn_events,
-            "n_sf_events": sim.integrator.n_sf_events,
-            "next_pid": sim.integrator.next_pid,
-            "dt": sim.integrator.cfg.dt,
+            # Re-scheduled in-flight SNe will be counted again on restore.
+            "n_sn_events": integ.n_sn_events - n_rescheduled,
+            "n_sf_events": integ.n_sf_events,
+            "next_pid": integ.next_pid,
+            "dt": integ.cfg.dt,
+            "n_pool": sim.pool.n_pool,
+            "latency_steps": sim.pool.latency_steps,
+            "seed": integ.cfg.seed,
+            "rng_state": integ.rng.bit_generator.state,
+            "integrator_config": asdict(integ.cfg),
+            "overflow_policy": str(pool.overflow_policy.value),
+            "serve": serve_meta,
+            "surrogate_spec": surrogate_spec,
         },
+        extra_arrays=extra_arrays,
     )
 
 
@@ -101,3 +171,23 @@ def load_simulation_state(path: str | Path) -> tuple[ParticleSet, dict]:
     """Read back a checkpoint written by :func:`save_simulation`."""
     ps, header = load_snapshot(path)
     return ps, header
+
+
+@dataclass
+class CheckpointState:
+    """Everything :meth:`GalaxySimulation.restore` needs from one file."""
+
+    ps: ParticleSet
+    header: dict
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+def load_checkpoint(path: str | Path) -> CheckpointState:
+    """Read a checkpoint including the ``extra/`` integrator arrays."""
+    arrays: dict[str, np.ndarray] = {}
+    with np.load(path) as data:
+        ps, header = _read_snapshot(data, path)
+        for key in data.files:
+            if key.startswith("extra/"):
+                arrays[key[len("extra/"):]] = data[key]
+    return CheckpointState(ps=ps, header=header, arrays=arrays)

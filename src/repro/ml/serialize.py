@@ -68,5 +68,14 @@ class InferenceEngine:
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self._model.forward(np.asarray(x, dtype=np.float64))
 
+    def predict_batch(self, x: np.ndarray) -> np.ndarray:
+        """Batched forward: (B, C_in, n, n, n) -> (B, C_out, n, n, n).
+
+        This is the pool-node serving path of :mod:`repro.serve` — several
+        coalesced SN regions share one pass, so every convolution tap's
+        matmul runs at batch width and the per-call overhead is amortized.
+        """
+        return self._model.forward_batch(np.asarray(x, dtype=np.float64))
+
     def n_parameters(self) -> int:
         return self._model.n_parameters()

@@ -32,6 +32,11 @@ class _ConvBlock(Layer):
     def forward(self, x: np.ndarray) -> np.ndarray:
         return self.a2(self.c2(self.a1(self.c1(x))))
 
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        return self.a2.forward_batch(
+            self.c2.forward_batch(self.a1.forward_batch(self.c1.forward_batch(x)))
+        )
+
     def backward(self, grad: np.ndarray) -> np.ndarray:
         return self.c1.backward(self.a1.backward(self.c2.backward(self.a2.backward(grad))))
 
@@ -106,6 +111,31 @@ class UNet3D(Layer):
             x = np.concatenate([x, skip], axis=0)
             x = dec.forward(x)
         return self.head.forward(x)
+
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        """Inference-only batched forward over (B, C, n, n, n) inputs.
+
+        Same dataflow as :meth:`forward` with the batch axis folded into
+        every convolution tap's matmul; skip concatenations happen on axis 1
+        (channels).  Writes no backward caches.
+        """
+        if x.ndim != 5:
+            raise ValueError(f"expected (B, C, n, n, n) input, got {x.shape}")
+        if x.shape[1] != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {x.shape[1]}")
+        if any(s % 2**self.depth for s in x.shape[2:]):
+            raise ValueError(f"spatial dims must be divisible by {2**self.depth}")
+        skips: list[np.ndarray] = []
+        for enc, pool in zip(self.encoders, self.pools):
+            x = enc.forward_batch(x)
+            skips.append(x)
+            x = pool.forward_batch(x)
+        x = self.bottleneck.forward_batch(x)
+        for dec, up, skip in zip(self.decoders, self.ups, reversed(skips)):
+            x = up.forward_batch(x)
+            x = np.concatenate([x, skip], axis=1)
+            x = dec.forward_batch(x)
+        return self.head.forward_batch(x)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         grad = self.head.backward(grad)

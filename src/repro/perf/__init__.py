@@ -24,7 +24,7 @@ the reproduction target; absolute seconds inherit the calibration.
 
 from repro.perf.machines import FUGAKU, RUSTY, MIYABI, Machine, NetworkSpec
 from repro.perf.kernels import kernel_performance_table, KernelPerf
-from repro.perf.costmodel import StepCostModel, RunConfig, PAPER_TABLE3
+from repro.perf.costmodel import StepCostModel, RunConfig, PAPER_TABLE3, serve_summary
 from repro.perf.scaling import (
     weak_scaling_curve,
     strong_scaling_curve,
@@ -43,6 +43,7 @@ __all__ = [
     "StepCostModel",
     "RunConfig",
     "PAPER_TABLE3",
+    "serve_summary",
     "weak_scaling_curve",
     "strong_scaling_curve",
     "time_to_solution_speedup",

@@ -1,0 +1,43 @@
+"""``repro.serve`` — asynchronous, batched surrogate-inference service.
+
+The paper's headline performance claim (Sec. 3.1–3.2, Figs. 6–7) is that
+SN surrogate inference runs on dedicated *pool* ranks, fully overlapped
+with the main-node integration, so the DL time never touches the critical
+path.  This package realizes that overlap in-process-tree form:
+
+* :class:`SurrogateServer` — owns worker processes (or a deterministic
+  in-process ``sync`` transport), a :class:`BatchScheduler` that coalesces
+  in-flight SN regions into padded voxel batches with deadline-aware
+  flushing, and a :class:`ServiceMetrics` ledger (queue depth, batch
+  occupancy, p50/p95 latency in steps, worker utilization, exposed wait).
+* :mod:`repro.serve.wire` — the packed-``FIELDS`` wire format every region
+  and prediction crosses the transport in (documented there, field by
+  field), whose exact byte counts the :class:`~repro.fdps.comm.SimComm`
+  ledger charges.
+* :class:`OverflowPolicy` — explicit backpressure (queue / block / spill /
+  oracle) replacing the old silent overflow counter; no SN event is ever
+  dropped without at least an oracle-fallback prediction.
+
+:class:`repro.core.pool.PoolManager` is a thin client over this service;
+``examples/serve_inference.py`` drives a standalone server, and
+``benchmarks/bench_serve_throughput.py`` measures regions/s and overlap
+efficiency against pool-worker count.
+"""
+
+from repro.serve.batch import BatchScheduler
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.policies import OverflowPolicy
+from repro.serve.server import SurrogateServer, SurrogateSpec, predict_batch_buffers
+from repro.serve.wire import ServeRequest, ServeResponse, event_rng
+
+__all__ = [
+    "BatchScheduler",
+    "OverflowPolicy",
+    "ServeRequest",
+    "ServeResponse",
+    "ServiceMetrics",
+    "SurrogateServer",
+    "SurrogateSpec",
+    "event_rng",
+    "predict_batch_buffers",
+]

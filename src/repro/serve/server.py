@@ -1,0 +1,472 @@
+"""`SurrogateServer` — the asynchronous, batched SN-inference service.
+
+The server owns a :class:`BatchScheduler` and a transport:
+
+* ``sync`` — predictions execute in-process at flush time on the caller's
+  thread.  Deterministic, dependency-free, and exactly the critical-path
+  shape of the old lazy ``PoolManager`` — the tests' reference path.
+* ``process`` — ``n_workers`` OS processes, each of which builds its own
+  surrogate (from a picklable :class:`SurrogateSpec` or a pickled
+  :class:`SNSurrogate`) and serves batches from a shared request queue.
+  Inference then genuinely overlaps the main loop: the only wall-clock the
+  main rank ever pays is the submit/collect bookkeeping, plus an *exposed
+  wait* (recorded in :class:`ServiceMetrics`) when a prediction misses its
+  return step.
+
+Because the Gibbs re-sampling is seeded per event
+(:func:`repro.serve.wire.event_rng`), both transports — and any batch
+composition or worker count — produce bit-identical predictions.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fdps.particles import ParticleSet
+from repro.serve.batch import BatchScheduler
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.wire import ServeRequest, ServeResponse
+from repro.surrogate.model import SedovBlastOracle, SNSurrogate
+from repro.util.constants import SN_ENERGY
+
+#: Seconds collect() waits for a late worker before declaring it dead.
+WORKER_TIMEOUT_S = 120.0
+
+
+@dataclass(frozen=True)
+class SurrogateSpec:
+    """A picklable recipe for building the surrogate inside a worker.
+
+    ``kind="oracle"`` builds the analytic Sedov oracle; ``kind="model"``
+    loads an exported U-Net through :class:`repro.ml.serialize
+    .InferenceEngine` — the two pool-node deployments of Sec. 3.3.
+    """
+
+    kind: str = "oracle"
+    n_grid: int = 16
+    side: float = 60.0
+    gibbs_sweeps: int = 8
+    # oracle parameters
+    t_after: float = 0.1
+    energy: float = SN_ENERGY
+    t_floor: float = 10.0
+    # model parameters
+    model_path: str | None = None
+
+    def build(self) -> SNSurrogate:
+        if self.kind == "oracle":
+            return SNSurrogate(
+                oracle=SedovBlastOracle(
+                    energy=self.energy, t_after=self.t_after, t_floor=self.t_floor
+                ),
+                n_grid=self.n_grid,
+                side=self.side,
+                gibbs_sweeps=self.gibbs_sweeps,
+            )
+        if self.kind == "model":
+            from repro.ml.serialize import InferenceEngine
+
+            if self.model_path is None:
+                raise ValueError("kind='model' requires model_path")
+            return SNSurrogate(
+                predictor=InferenceEngine.load(self.model_path),
+                n_grid=self.n_grid,
+                side=self.side,
+                gibbs_sweeps=self.gibbs_sweeps,
+            )
+        raise ValueError(f"unknown surrogate spec kind {self.kind!r}")
+
+    @classmethod
+    def from_surrogate(cls, surr: SNSurrogate) -> "SurrogateSpec":
+        """Best-effort spec for an existing oracle-backed surrogate."""
+        if not isinstance(surr.oracle, SedovBlastOracle):
+            raise ValueError(
+                "only oracle-backed surrogates have a derivable spec; "
+                "pass a SurrogateSpec(kind='model', model_path=...) or let the "
+                "server pickle the surrogate object itself"
+            )
+        return cls(
+            kind="oracle",
+            n_grid=surr.n_grid,
+            side=surr.side,
+            gibbs_sweeps=surr.gibbs_sweeps,
+            t_after=surr.oracle.t_after,
+            energy=surr.oracle.energy,
+            t_floor=surr.oracle.t_floor,
+        )
+
+
+def _resolve_surrogate(spec) -> SNSurrogate:
+    return spec.build() if isinstance(spec, SurrogateSpec) else spec
+
+
+def predict_batch_buffers(
+    surrogate: SNSurrogate, buffers: list[np.ndarray], pad_to: int | None = None
+) -> list[np.ndarray]:
+    """Decode a request batch, run the batched predictor, encode responses.
+
+    This is the worker inner loop — shared verbatim by the sync transport so
+    both paths execute identical code on identical bytes.
+    """
+    requests = [ServeRequest.from_buffer(b) for b in buffers]
+    predicted = surrogate.predict_batch(
+        [r.region for r in requests],
+        [r.center for r in requests],
+        [r.rng() for r in requests],
+        pad_to=pad_to,
+    )
+    return [
+        ServeResponse(
+            event_id=r.event_id, return_step=r.return_step, particles=p
+        ).to_buffer()
+        for r, p in zip(requests, predicted)
+    ]
+
+
+def _worker_main(worker_id: int, spec, req_q, res_q, pad_to: int | None) -> None:
+    """Pool-node worker: build the surrogate once, then serve batches."""
+    surrogate = _resolve_surrogate(spec)
+    while True:
+        item = req_q.get()
+        if item is None:
+            break
+        batch_id, buffers = item
+        t0 = time.perf_counter()
+        try:
+            responses = predict_batch_buffers(surrogate, buffers, pad_to=pad_to)
+        except Exception as exc:  # ship the failure instead of dying silently
+            res_q.put((batch_id, worker_id, exc, 0.0))
+            continue
+        res_q.put((batch_id, worker_id, responses, time.perf_counter() - t0))
+
+
+class _SyncTransport:
+    """Execute batches inline on the caller's thread (the reference path)."""
+
+    def __init__(self, surrogate: SNSurrogate, metrics: ServiceMetrics,
+                 pad_to: int | None = None) -> None:
+        self._surrogate = surrogate
+        self._metrics = metrics
+        self._pad_to = pad_to
+        self._done: list[tuple[int, int, list[np.ndarray], float]] = []
+
+    @property
+    def n_workers(self) -> int:
+        return 0
+
+    def dispatch(self, batch_id: int, buffers: list[np.ndarray]) -> None:
+        t0 = time.perf_counter()
+        responses = predict_batch_buffers(self._surrogate, buffers, self._pad_to)
+        elapsed = time.perf_counter() - t0
+        self._metrics.inline_predict_s += elapsed
+        self._done.append((batch_id, -1, responses, elapsed))
+
+    def poll(self) -> list[tuple[int, int, list[np.ndarray], float]]:
+        out, self._done = self._done, []
+        return out
+
+    def wait(self, timeout: float):
+        raise RuntimeError("sync transport never has in-flight batches")
+
+    def close(self) -> None:
+        pass
+
+
+class _ProcessTransport:
+    """N worker processes fed from one shared request queue (pipes)."""
+
+    def __init__(self, spec, n_workers: int, ctx_method: str | None = None,
+                 pad_to: int | None = None) -> None:
+        if n_workers < 1:
+            raise ValueError("process transport needs at least one worker")
+        methods = mp.get_all_start_methods()
+        method = ctx_method or ("fork" if "fork" in methods else "spawn")
+        ctx = mp.get_context(method)
+        self._req_q = ctx.Queue()
+        self._res_q = ctx.Queue()
+        self._workers = [
+            ctx.Process(
+                target=_worker_main,
+                args=(i, spec, self._req_q, self._res_q, pad_to),
+                daemon=True,
+                name=f"repro-serve-worker-{i}",
+            )
+            for i in range(n_workers)
+        ]
+        for w in self._workers:
+            w.start()
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    def dispatch(self, batch_id: int, buffers: list[np.ndarray]) -> None:
+        self._req_q.put((batch_id, buffers))
+
+    def poll(self) -> list[tuple[int, int, list[np.ndarray], float]]:
+        out = []
+        while True:
+            try:
+                out.append(self._res_q.get_nowait())
+            except queue_mod.Empty:
+                return out
+
+    def wait(self, timeout: float = WORKER_TIMEOUT_S):
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self._res_q.get(timeout=1.0)
+            except queue_mod.Empty:
+                if not any(w.is_alive() for w in self._workers):
+                    raise RuntimeError("all serve workers died") from None
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"no serve response within {timeout:.0f}s"
+                    ) from None
+
+    def close(self) -> None:
+        for _ in self._workers:
+            self._req_q.put(None)
+        for w in self._workers:
+            w.join(timeout=10.0)
+        for w in self._workers:
+            if w.is_alive():
+                w.terminate()
+                w.join(timeout=5.0)
+        self._req_q.close()
+        self._res_q.close()
+
+
+class SurrogateServer:
+    """Batched inference over SN regions with sync or process transport.
+
+    Parameters
+    ----------
+    surrogate : in-process surrogate (required for ``sync``; for
+        ``process`` it is the pickled fallback when ``spec`` is absent and
+        the builder of inline spill/oracle predictions).
+    spec : a :class:`SurrogateSpec` workers build from (preferred for the
+        process transport — each worker loads its own model instead of
+        inheriting a pickled copy through the queue args).
+    transport : ``"sync"`` or ``"process"``.
+    n_workers / max_batch / max_wait_steps / pad_to : see module and
+        :class:`BatchScheduler` docs.
+    """
+
+    def __init__(
+        self,
+        surrogate: SNSurrogate | None = None,
+        spec: SurrogateSpec | None = None,
+        transport: str = "sync",
+        n_workers: int = 2,
+        max_batch: int = 8,
+        max_wait_steps: int = 1,
+        pad_to: int | None = None,
+        ctx_method: str | None = None,
+    ) -> None:
+        if surrogate is None and spec is None:
+            raise ValueError("need a surrogate or a SurrogateSpec")
+        self.transport_name = transport
+        self.metrics = ServiceMetrics(started_at=time.perf_counter())
+        self.scheduler = BatchScheduler(
+            max_batch=max_batch,
+            max_wait_steps=max_wait_steps,
+            pad_to=pad_to,
+            metrics=self.metrics,
+        )
+        self._surrogate = surrogate
+        self._spec = spec
+        if transport == "sync":
+            self._transport = _SyncTransport(
+                self.local_surrogate, self.metrics, pad_to
+            )
+        elif transport == "process":
+            self._transport = _ProcessTransport(
+                spec if spec is not None else surrogate, n_workers, ctx_method, pad_to
+            )
+        else:
+            raise ValueError(f"unknown transport {transport!r}")
+        self._next_event_id = 0
+        self._next_batch_id = 0
+        self._in_flight: set[int] = set()                # outstanding batch ids
+        self._expected: dict[int, tuple[int, int]] = {}  # id -> (dispatch, return)
+        self._completed: dict[int, ServeResponse] = {}
+        self._last_depth_sample_step: int | None = None
+        self._closed = False
+
+    # -------------------------------------------------------------- plumbing
+    @property
+    def local_surrogate(self) -> SNSurrogate:
+        """An in-process surrogate (built lazily from the spec if needed)."""
+        if self._surrogate is None:
+            self._surrogate = self._spec.build()
+        return self._surrogate
+
+    @property
+    def n_workers(self) -> int:
+        return self._transport.n_workers
+
+    @property
+    def n_outstanding(self) -> int:
+        """Events submitted but not yet handed back by :meth:`collect`."""
+        return len(self._expected)
+
+    # ---------------------------------------------------------------- submit
+    def submit(
+        self,
+        region: ParticleSet,
+        center: np.ndarray,
+        star_pid: int,
+        dispatch_step: int,
+        return_step: int,
+        base_seed: int = 0,
+    ) -> ServeRequest:
+        """Encode one SN region and queue it for batched prediction."""
+        request = ServeRequest(
+            event_id=self._next_event_id,
+            base_seed=int(base_seed),
+            star_pid=int(star_pid),
+            dispatch_step=int(dispatch_step),
+            return_step=int(return_step),
+            center=np.asarray(center, dtype=np.float64),
+            region=region,
+        )
+        self._next_event_id += 1
+        buf = request.to_buffer()
+        self.metrics.n_submitted += 1
+        self.metrics.bytes_in += int(buf.nbytes)
+        self._expected[request.event_id] = (request.dispatch_step, request.return_step)
+        self.scheduler.add(buf, request.event_id, dispatch_step, return_step)
+        return request
+
+    def predict_inline(self, request: ServeRequest,
+                       surrogate: SNSurrogate | None = None) -> None:
+        """Run one already-submitted request *now* on the caller's thread.
+
+        The backpressure paths (spill-to-sync, drop-to-oracle) use this: the
+        request leaves the scheduler queue and its prediction is stored for
+        delivery at the normal return step.
+        """
+        buf = self.scheduler.remove(request.event_id)
+        t0 = time.perf_counter()
+        [resp_buf] = predict_batch_buffers(surrogate or self.local_surrogate, [buf])
+        self.metrics.inline_predict_s += time.perf_counter() - t0
+        self._store_response(resp_buf)
+
+    # ------------------------------------------------------------------ tick
+    def tick(self, step: int) -> None:
+        """Flush due batches to the transport (idempotent within a step).
+
+        Both the dispatch-side flush and :meth:`collect` tick; the queue
+        depth is sampled only on the first tick of a step (before any
+        flush) so the observability stream has one pre-flush sample per
+        step.
+        """
+        if step != self._last_depth_sample_step:
+            self._last_depth_sample_step = step
+            self.metrics.queue_depth_samples.append(self.scheduler.queue_depth)
+        for buffers in self.scheduler.due_batches(step):
+            self._dispatch(buffers)
+
+    def _dispatch(self, buffers: list[np.ndarray]) -> None:
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        self._in_flight.add(batch_id)
+        self._transport.dispatch(batch_id, buffers)
+
+    # --------------------------------------------------------------- collect
+    def collect(self, step: int) -> list[ServeResponse]:
+        """All predictions due at ``step``.
+
+        Drains finished batches without blocking; if a due prediction is
+        still running (the pool is genuinely contended) the call blocks
+        until it lands and charges the wait to ``metrics.exposed_wait_s`` —
+        the non-overlapped remainder the paper's ideal sizing drives to
+        zero.
+        """
+        self.tick(step)  # any request due back by now is past its deadline
+        self._absorb(self._transport.poll())
+        while self._missing_due(step):
+            t0 = time.perf_counter()
+            item = self._transport.wait(WORKER_TIMEOUT_S)
+            self.metrics.exposed_wait_s += time.perf_counter() - t0
+            self._absorb([item])
+        out = []
+        for eid in sorted(self._completed.keys()):
+            dispatch_step, return_step = self._expected[eid]
+            if return_step <= step:
+                out.append(self._completed.pop(eid))
+                del self._expected[eid]
+                self.metrics.record_completion(dispatch_step, step)
+        return out
+
+    def collect_all(self) -> list[ServeResponse]:
+        """Flush and wait for everything outstanding (drain/shutdown path)."""
+        for buffers in self.scheduler.flush_all(step=0):
+            self._dispatch(buffers)
+        self._absorb(self._transport.poll())
+        while self._in_flight:
+            self._absorb([self._transport.wait(WORKER_TIMEOUT_S)])
+        out = []
+        for eid in sorted(self._completed.keys()):
+            dispatch_step, return_step = self._expected[eid]
+            out.append(self._completed.pop(eid))
+            del self._expected[eid]
+            # No caller step here; the request's return step is the honest
+            # latency stand-in (the prediction was due back then).
+            self.metrics.record_completion(dispatch_step, return_step)
+        return out
+
+    def _missing_due(self, step: int) -> bool:
+        """A due event is neither completed nor pending — it is in flight."""
+        for eid, (_d, return_step) in self._expected.items():
+            if return_step <= step and eid not in self._completed:
+                return True
+        return False
+
+    def _absorb(self, items) -> None:
+        for batch_id, worker_id, payload, busy_s in items:
+            if isinstance(payload, Exception):
+                raise RuntimeError(
+                    f"serve worker {worker_id} failed on batch {batch_id}"
+                ) from payload
+            self._in_flight.discard(batch_id)
+            if worker_id >= 0:
+                self.metrics.add_worker_busy(worker_id, busy_s)
+            for buf in payload:
+                self._store_response(buf)
+
+    def _store_response(self, buf: np.ndarray) -> None:
+        response = ServeResponse.from_buffer(buf)
+        self.metrics.bytes_out += int(buf.nbytes)
+        self._completed[response.event_id] = response
+
+    # ----------------------------------------------------------------- close
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.metrics.stopped_at = time.perf_counter()
+        self._transport.close()
+
+    def __enter__(self) -> "SurrogateServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def metrics_dict(self) -> dict:
+        return self.metrics.as_dict(
+            max_batch=self.scheduler.max_batch, n_workers=self.n_workers
+        )

@@ -1,0 +1,172 @@
+"""The serve wire format: SN regions and predictions as flat float64 buffers.
+
+One request or response is a single 1-D ``np.float64`` array — a fixed
+header followed by the full packed-``FIELDS`` particle payload
+(:meth:`repro.fdps.particles.ParticleSet.pack`).  A single dtype keeps the
+buffer directly shippable over any byte transport (pipes, shared memory,
+MPI) and makes its ``nbytes`` the exact figure the :class:`SimComm` ledger
+charges.  Integer header entries (ids, steps, counts) are stored as
+float64, exact for any value below 2**53 — the same convention the domain
+exchange payload uses for ``pid``.
+
+Layout (offsets in float64 slots)::
+
+    request   [0] REQUEST_MAGIC   [1] WIRE_VERSION  [2] event_id
+              [3] base_seed       [4] star_pid      [5] dispatch_step
+              [6] return_step     [7:10] center xyz [10] n_particles
+              [11] packed_width   [12:] particle payload (n * width)
+
+    response  [0] RESPONSE_MAGIC  [1] WIRE_VERSION  [2] event_id
+              [3] return_step     [4] n_particles   [5] packed_width
+              [6:] particle payload (n * width)
+
+Decoding validates magic, version, and payload length, so a torn or
+misrouted buffer fails loudly instead of producing corrupt particles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fdps.particles import ParticleSet, packed_width
+
+WIRE_VERSION = 1
+#: "SREQ" / "SRES" in ASCII — integer-valued magics survive the float64 trip.
+REQUEST_MAGIC = float(0x53524551)
+RESPONSE_MAGIC = float(0x53524553)
+
+_REQ_HEADER = 12
+_RES_HEADER = 6
+
+
+@dataclass
+class ServeRequest:
+    """One SN region on its way to an inference worker."""
+
+    event_id: int
+    base_seed: int
+    star_pid: int
+    dispatch_step: int
+    return_step: int
+    center: np.ndarray          # (3,) [pc]
+    region: ParticleSet
+    #: Cached wire encoding — requests are immutable once built, so encode
+    #: once and let every consumer (transport, comm ledger) share the bytes.
+    buffer: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    def rng(self) -> np.random.Generator:
+        """The per-event Gibbs generator — a pure function of the event.
+
+        Seeding from (base seed, star pid, dispatch step) makes the
+        prediction independent of dispatch/collect ordering, batching, and
+        which worker runs it.  Note that an in-flight event re-dispatched
+        after a checkpoint restore carries its *new* dispatch step, so it
+        draws a fresh (still deterministic) sample.
+        """
+        return event_rng(self.base_seed, self.star_pid, self.dispatch_step)
+
+    def to_buffer(self) -> np.ndarray:
+        if self.buffer is not None:
+            return self.buffer
+        payload = self.region.pack()
+        n, w = payload.shape
+        buf = np.empty(_REQ_HEADER + n * w, dtype=np.float64)
+        buf[0] = REQUEST_MAGIC
+        buf[1] = WIRE_VERSION
+        buf[2] = self.event_id
+        buf[3] = self.base_seed
+        buf[4] = self.star_pid
+        buf[5] = self.dispatch_step
+        buf[6] = self.return_step
+        buf[7:10] = np.asarray(self.center, dtype=np.float64)
+        buf[10] = n
+        buf[11] = w
+        buf[_REQ_HEADER:] = payload.ravel()
+        self.buffer = buf
+        return buf
+
+    @classmethod
+    def from_buffer(cls, buf: np.ndarray) -> "ServeRequest":
+        buf = np.asarray(buf, dtype=np.float64).ravel()
+        _check_header(buf, REQUEST_MAGIC, _REQ_HEADER, "request")
+        n, w = int(buf[10]), int(buf[11])
+        _check_payload(buf, _REQ_HEADER, n, w, "request")
+        region = ParticleSet.unpack(buf[_REQ_HEADER:].reshape(n, w))
+        return cls(
+            event_id=int(buf[2]),
+            base_seed=int(buf[3]),
+            star_pid=int(buf[4]),
+            dispatch_step=int(buf[5]),
+            return_step=int(buf[6]),
+            center=buf[7:10].copy(),
+            region=region,
+            buffer=buf,
+        )
+
+
+@dataclass
+class ServeResponse:
+    """One prediction on its way back to the main rank."""
+
+    event_id: int
+    return_step: int
+    particles: ParticleSet
+    #: Cached wire encoding (see :attr:`ServeRequest.buffer`).
+    buffer: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    def to_buffer(self) -> np.ndarray:
+        if self.buffer is not None:
+            return self.buffer
+        payload = self.particles.pack()
+        n, w = payload.shape
+        buf = np.empty(_RES_HEADER + n * w, dtype=np.float64)
+        buf[0] = RESPONSE_MAGIC
+        buf[1] = WIRE_VERSION
+        buf[2] = self.event_id
+        buf[3] = self.return_step
+        buf[4] = n
+        buf[5] = w
+        buf[_RES_HEADER:] = payload.ravel()
+        self.buffer = buf
+        return buf
+
+    @classmethod
+    def from_buffer(cls, buf: np.ndarray) -> "ServeResponse":
+        buf = np.asarray(buf, dtype=np.float64).ravel()
+        _check_header(buf, RESPONSE_MAGIC, _RES_HEADER, "response")
+        n, w = int(buf[4]), int(buf[5])
+        _check_payload(buf, _RES_HEADER, n, w, "response")
+        particles = ParticleSet.unpack(buf[_RES_HEADER:].reshape(n, w))
+        return cls(event_id=int(buf[2]), return_step=int(buf[3]),
+                   particles=particles, buffer=buf)
+
+
+def event_rng(base_seed: int, star_pid: int, dispatch_step: int) -> np.random.Generator:
+    """Deterministic per-event generator for the Gibbs re-sampling."""
+    return np.random.default_rng(
+        [abs(int(base_seed)), abs(int(star_pid)), abs(int(dispatch_step))]
+    )
+
+
+def _check_header(buf: np.ndarray, magic: float, header: int, kind: str) -> None:
+    if len(buf) < header:
+        raise ValueError(f"serve {kind} buffer too short for its header")
+    if buf[0] != magic:
+        raise ValueError(f"serve {kind} buffer has wrong magic {buf[0]!r}")
+    if int(buf[1]) != WIRE_VERSION:
+        raise ValueError(
+            f"serve {kind} wire version {int(buf[1])} != {WIRE_VERSION}"
+        )
+
+
+def _check_payload(buf: np.ndarray, header: int, n: int, w: int, kind: str) -> None:
+    if w != packed_width():
+        raise ValueError(
+            f"serve {kind} payload width {w} != registry width {packed_width()}"
+        )
+    if len(buf) != header + n * w:
+        raise ValueError(
+            f"serve {kind} buffer length {len(buf)} != header + {n}x{w} payload"
+        )

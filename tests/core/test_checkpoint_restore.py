@@ -1,0 +1,145 @@
+"""Checkpoint/restore: a restored run continues bit-identically.
+
+The satellite fix for the old gap where ``load_simulation_state`` returned
+raw ``(ps, header)`` and nothing could rebuild a live run: `
+``GalaxySimulation.restore`` reconstructs the integrator clock,
+``next_pid``, the SN/SF counters, the SF RNG state, and the stored force
+arrays, so save -> restore -> step matches an uninterrupted run exactly.
+"""
+
+import numpy as np
+
+from repro.core.integrator import IntegratorConfig
+from repro.core.simulation import GalaxySimulation
+from repro.fdps.io import load_checkpoint, load_simulation_state, save_simulation
+from repro.fdps.particles import ParticleSet, ParticleType
+from repro.sn.turbulence import make_turbulent_box
+
+
+def _ic(with_star=True, seed=5):
+    box = make_turbulent_box(n_per_side=6, side=60.0, mean_density=0.05,
+                             temperature=100.0, mach=2.0, seed=seed)
+    if not with_star:
+        return box
+    star = ParticleSet.empty(1)
+    star.pos[:] = 0.0
+    star.mass[:] = 20.0
+    star.ptype[:] = int(ParticleType.STAR)
+    star.pid[:] = 10_000_000
+    star.tsn[:] = 0.003  # explodes at step 2, returns at step 4 (< save step)
+    star.eps[:] = 1.0
+    return box.append(star)
+
+
+def _sim(ps, **kw):
+    cfg = IntegratorConfig(self_gravity=False, enable_cooling=True,
+                           enable_star_formation=True)
+    return GalaxySimulation(ps, dt=2e-3, n_pool=4, latency_steps=2,
+                            surrogate_grid=8, seed=11, config=cfg, **kw)
+
+
+def test_save_restore_step_matches_uninterrupted(tmp_path):
+    path = tmp_path / "ckpt.npz"
+
+    straight = _sim(_ic())
+    straight.run(9)
+
+    first = _sim(_ic())
+    first.run(6)
+    save_simulation(first, path)
+    resumed = GalaxySimulation.restore(path)
+    assert resumed.step_count == 6
+    assert resumed.time == first.time
+    resumed.run(3)
+
+    assert resumed.step_count == straight.step_count
+    assert resumed.time == straight.time
+    for name, arr in straight.ps.data.items():
+        assert np.array_equal(resumed.ps.data[name], arr), name
+    assert resumed.integrator.n_sn_events == straight.integrator.n_sn_events
+    assert resumed.integrator.n_sf_events == straight.integrator.n_sf_events
+    assert resumed.integrator.next_pid == straight.integrator.next_pid
+
+
+def test_restore_rebuilds_counters_and_rng(tmp_path):
+    path = tmp_path / "ckpt.npz"
+    sim = _sim(_ic())
+    sim.run(5)
+    sim.integrator.next_pid = 123456  # make the value distinctive
+    save_simulation(sim, path)
+
+    back = GalaxySimulation.restore(path)
+    assert back.step_count == 5
+    assert back.integrator.next_pid == 123456
+    assert back.integrator.n_sn_events == sim.integrator.n_sn_events
+    assert back.integrator.n_sf_events == sim.integrator.n_sf_events
+    assert back.pool.n_pool == 4
+    assert back.pool.latency_steps == 2
+    assert back.integrator.cfg.dt == sim.integrator.cfg.dt
+    # The SF generator continues from the saved state, not from the seed.
+    assert (
+        back.integrator.rng.bit_generator.state
+        == sim.integrator.rng.bit_generator.state
+    )
+    assert back.integrator._first_forces_done
+
+
+def test_restore_accepts_overrides(tmp_path):
+    path = tmp_path / "ckpt.npz"
+    sim = _sim(_ic(with_star=False))
+    sim.run(2)
+    save_simulation(sim, path)
+    back = GalaxySimulation.restore(path, n_pool=9, overflow_policy="block")
+    assert back.pool.n_pool == 9
+    assert str(back.pool.overflow_policy) == "OverflowPolicy.BLOCK"
+
+
+def test_checkpoint_is_a_valid_plain_snapshot(tmp_path):
+    # Older readers that only know (ps, header) still work on a checkpoint.
+    path = tmp_path / "ckpt.npz"
+    sim = _sim(_ic(with_star=False))
+    sim.run(2)
+    save_simulation(sim, path)
+    ps, header = load_simulation_state(path)
+    assert len(ps) == len(sim.ps)
+    assert header["step"] == 2
+    state = load_checkpoint(path)
+    assert set(state.arrays) == {"grav_acc", "hydro_acc", "du_dt", "vsig"}
+    assert state.arrays["grav_acc"].shape == (len(ps), 3)
+
+
+def test_in_flight_sn_is_rescheduled_not_lost(tmp_path):
+    # The prediction for an SN in flight at save time is dropped, but the
+    # event itself must not be: the saved tsn is reset to the explosion
+    # time and the restored run re-dispatches it as an overdue SN.
+    path = tmp_path / "midflight.npz"
+    cfg = IntegratorConfig(self_gravity=False, enable_cooling=False,
+                           enable_star_formation=False)
+    sim = GalaxySimulation(_ic(), dt=2e-3, n_pool=4, latency_steps=20,
+                           surrogate_grid=8, seed=11, config=cfg)
+    sim.run(4)  # SN dispatched at step 2, due back at step 22: in flight
+    assert sim.pool.n_in_flight == 1
+    save_simulation(sim, path)
+
+    back = GalaxySimulation.restore(path)
+    assert np.isfinite(back.ps.tsn[back.ps.pid == 10_000_000])[0]
+    e_before = back.diagnostics()["thermal_energy"]
+    back.run(1)  # overdue SN fires immediately
+    assert back.integrator.n_sn_events == 1
+    assert back.pool.n_in_flight == 1
+    back.run(21)
+    assert back.pool.summary()["n_returned"] == 1
+    assert back.diagnostics()["thermal_energy"] > 100 * e_before
+
+
+def test_restore_without_force_arrays_recomputes(tmp_path):
+    # A checkpoint written before the first force pass has no arrays; the
+    # restored run recomputes them on its first step.
+    path = tmp_path / "fresh.npz"
+    sim = _sim(_ic(with_star=False))
+    save_simulation(sim, path)
+    state = load_checkpoint(path)
+    assert state.arrays == {}
+    back = GalaxySimulation.restore(path)
+    assert not back.integrator._first_forces_done
+    back.run(1)  # must not raise

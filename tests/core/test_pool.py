@@ -91,8 +91,14 @@ def test_comm_traffic_counted():
     m = PoolManager(surrogate=surr, n_pool=2, latency_steps=1, seed=0, comm=world)
     m.dispatch(_region(), np.zeros(3), star_pid=1, time=0.0, step=0)
     m.collect(1)
-    assert world.stats["p2p"].n_messages == 2  # region out, prediction back
-    assert world.stats["p2p"].bytes_total > 0
+    stat = world.stats["pool_p2p"]
+    assert stat.n_messages == 2  # region out, prediction back
+    # The ledger charges the full wire buffers: header + packed FIELDS
+    # payload, both ways (50 particles x 29 float64 columns + headers).
+    from repro.fdps.particles import packed_width
+
+    expected = (12 + 50 * packed_width()) * 8 + (6 + 50 * packed_width()) * 8
+    assert stat.bytes_total == expected
 
 
 def test_summary(manager):

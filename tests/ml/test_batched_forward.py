@@ -1,0 +1,104 @@
+"""Batched inference parity: forward_batch == per-sample forward, exactly.
+
+The batched convolution folds the batch axis into each tap's matmul, so
+every output element is the same dot product over the same operands as the
+single-sample pass — bit-identical results, which the serve subsystem's
+determinism guarantee leans on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.layers import Conv3D, Layer, LeakyReLU, MaxPool3D, Upsample3D
+from repro.ml.serialize import InferenceEngine, load_model, save_model
+from repro.ml.unet import UNet3D
+
+
+def _batch(shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+def test_conv3d_forward_batch_matches_loop():
+    conv = Conv3D(4, 6, 3, rng=np.random.default_rng(0))
+    x = _batch((5, 4, 8, 8, 8), seed=1)
+    ref = np.stack([conv.forward(s) for s in x])
+    assert np.array_equal(conv.forward_batch(x), ref)
+
+
+def test_conv3d_1x1_forward_batch():
+    conv = Conv3D(3, 2, 1, rng=np.random.default_rng(2))
+    x = _batch((3, 3, 4, 4, 4), seed=3)
+    ref = np.stack([conv.forward(s) for s in x])
+    assert np.array_equal(conv.forward_batch(x), ref)
+
+
+def test_conv3d_forward_batch_validates_channels():
+    conv = Conv3D(4, 6, 3)
+    with pytest.raises(ValueError):
+        conv.forward_batch(_batch((2, 3, 8, 8, 8)))
+
+
+def test_elementwise_layers_forward_batch():
+    x = _batch((4, 3, 6, 6, 6), seed=4)
+    relu = LeakyReLU()
+    assert np.array_equal(relu.forward_batch(x), np.stack([relu(s) for s in x]))
+    pool = MaxPool3D()
+    assert np.array_equal(pool.forward_batch(x), np.stack([pool(s) for s in x]))
+    up = Upsample3D()
+    assert np.array_equal(up.forward_batch(x), np.stack([up(s) for s in x]))
+
+
+def test_maxpool_forward_batch_rejects_odd_dims():
+    with pytest.raises(ValueError):
+        MaxPool3D().forward_batch(_batch((2, 3, 5, 6, 6)))
+
+
+def test_base_layer_fallback_loops_forward():
+    class Doubler(Layer):
+        def forward(self, x):
+            return 2.0 * x
+
+    x = _batch((3, 2, 4, 4, 4), seed=5)
+    assert np.array_equal(Doubler().forward_batch(x), 2.0 * x)
+
+
+def test_unet_forward_batch_matches_loop():
+    net = UNet3D(in_channels=8, out_channels=5, base_channels=4, depth=2, seed=1)
+    x = _batch((4, 8, 8, 8, 8), seed=6)
+    ref = np.stack([net.forward(s) for s in x])
+    out = net.forward_batch(x)
+    assert out.shape == (4, 5, 8, 8, 8)
+    assert np.array_equal(out, ref)
+
+
+def test_unet_forward_batch_validation():
+    net = UNet3D(in_channels=8, out_channels=5, base_channels=2, depth=1, seed=0)
+    with pytest.raises(ValueError):
+        net.forward_batch(_batch((8, 8, 8, 8)))       # missing batch axis
+    with pytest.raises(ValueError):
+        net.forward_batch(_batch((2, 4, 8, 8, 8)))    # wrong channels
+    with pytest.raises(ValueError):
+        net.forward_batch(_batch((2, 8, 7, 7, 7)))    # not divisible by 2^depth
+
+
+def test_forward_batch_leaves_training_state_usable():
+    # A batched inference pass must not corrupt a subsequent backward.
+    net = UNet3D(in_channels=2, out_channels=1, base_channels=2, depth=1, seed=2)
+    x = _batch((2, 8, 8, 8), seed=7)
+    y = net.forward(x)
+    net.forward_batch(_batch((3, 2, 8, 8, 8), seed=8))
+    y2 = net.forward(x)
+    assert np.array_equal(y, y2)
+    net.backward(np.ones_like(y2))  # must not raise
+
+
+def test_inference_engine_predict_batch(tmp_path):
+    net = UNet3D(in_channels=8, out_channels=5, base_channels=2, depth=1, seed=3)
+    path = tmp_path / "model.npz"
+    save_model(net, path)
+    engine = InferenceEngine(load_model(path))
+    x = _batch((3, 8, 8, 8, 8), seed=9)
+    out = engine.predict_batch(x)
+    assert out.shape == (3, 5, 8, 8, 8)
+    ref = np.stack([engine(s) for s in x])
+    assert np.array_equal(out, ref)

@@ -1,0 +1,192 @@
+"""SurrogateServer: transport parity, deadlines, metrics, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.core.integrator import IntegratorConfig
+from repro.core.simulation import GalaxySimulation
+from repro.fdps.particles import ParticleSet, ParticleType
+from repro.perf.costmodel import serve_summary
+from repro.serve import SurrogateServer, SurrogateSpec
+from repro.sn.turbulence import make_turbulent_box
+from repro.surrogate.model import SedovBlastOracle, SNSurrogate
+
+N_WORKERS = 2  # the CI serve leg runs these tests with two worker processes
+
+
+def _region(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    ps = ParticleSet.from_arrays(
+        pos=rng.uniform(-25, 25, (n, 3)),
+        mass=np.full(n, 1.0),
+        pid=np.arange(n) + 1000 * seed,
+        ptype=np.full(n, int(ParticleType.GAS)),
+    )
+    ps.u[:] = 25.0
+    ps.h[:] = 8.0
+    return ps
+
+
+def _surr():
+    return SNSurrogate(oracle=SedovBlastOracle(t_after=0.1), n_grid=8, side=60.0)
+
+
+def _submit(server, k, step=0, return_step=5):
+    return server.submit(
+        _region(seed=k), np.zeros(3), star_pid=k,
+        dispatch_step=step, return_step=return_step, base_seed=0,
+    )
+
+
+def test_sync_collect_respects_return_step():
+    with SurrogateServer(surrogate=_surr(), transport="sync") as srv:
+        _submit(srv, 0, step=0, return_step=5)
+        for step in range(5):
+            assert srv.collect(step) == []
+        [res] = srv.collect(5)
+        assert len(res.particles) == 40
+        assert srv.n_outstanding == 0
+
+
+def test_process_transport_bit_identical_to_sync():
+    """The acceptance criterion: >= 2 workers, identical bytes out."""
+    reference = {}
+    with SurrogateServer(surrogate=_surr(), transport="sync", max_batch=2) as srv:
+        for k in range(5):
+            _submit(srv, k)
+        for res in srv.collect(5):
+            reference[res.event_id] = res.particles
+    with SurrogateServer(
+        surrogate=_surr(), transport="process", n_workers=N_WORKERS, max_batch=2
+    ) as srv:
+        for k in range(5):
+            _submit(srv, k)
+        srv.tick(0)  # ships two full batches to the workers immediately
+        results = srv.collect(5)
+        assert len(results) == 5
+        for res in results:
+            ref = reference[res.event_id]
+            for name, arr in ref.data.items():
+                assert np.array_equal(res.particles.data[name], arr), name
+
+
+def test_process_spec_built_in_worker():
+    spec = SurrogateSpec(kind="oracle", n_grid=8, side=60.0, t_after=0.1)
+    with SurrogateServer(spec=spec, transport="process", n_workers=1) as srv:
+        _submit(srv, 3)
+        [res] = srv.collect(5)
+    with SurrogateServer(surrogate=_surr(), transport="sync") as sync:
+        _submit(sync, 3)
+        [ref] = sync.collect(5)
+    assert np.array_equal(res.particles.pos, ref.particles.pos)
+
+
+def test_spec_from_surrogate_roundtrip():
+    spec = SurrogateSpec.from_surrogate(_surr())
+    built = spec.build()
+    assert built.n_grid == 8
+    assert built.oracle.t_after == 0.1
+    with pytest.raises(ValueError):
+        SurrogateSpec.from_surrogate(SNSurrogate(predictor=lambda x: x, n_grid=8))
+
+
+def test_collect_all_drains_outstanding():
+    with SurrogateServer(
+        surrogate=_surr(), transport="process", n_workers=N_WORKERS, max_batch=8
+    ) as srv:
+        for k in range(3):
+            _submit(srv, k, return_step=100)
+        out = srv.collect_all()
+        assert len(out) == 3
+        assert srv.n_outstanding == 0
+
+
+def test_metrics_populated():
+    with SurrogateServer(surrogate=_surr(), transport="sync", max_batch=2) as srv:
+        for k in range(4):
+            _submit(srv, k)
+        srv.collect(5)
+        m = srv.metrics_dict()
+    assert m["n_submitted"] == 4
+    assert m["n_completed"] == 4
+    assert m["n_batches"] == 2
+    assert m["mean_batch_size"] == 2.0
+    assert m["batch_occupancy"] == 1.0
+    assert m["latency_steps_p50"] == 5.0
+    assert m["bytes_in"] > 0 and m["bytes_out"] > 0
+    assert m["inline_predict_s"] > 0  # sync executes on the caller's thread
+
+
+def test_serve_summary_prices_sync_as_fully_exposed():
+    with SurrogateServer(surrogate=_surr(), transport="sync") as srv:
+        _submit(srv, 0)
+        srv.collect(5)
+        summary = serve_summary(srv.metrics_dict())
+    assert summary["inference_total_s"] > 0
+    assert summary["overlap_efficiency"] == 0.0
+
+
+def test_serve_summary_prices_overlap():
+    with SurrogateServer(
+        surrogate=_surr(), transport="process", n_workers=N_WORKERS
+    ) as srv:
+        for k in range(4):
+            _submit(srv, k, return_step=5)
+        srv.tick(1)
+        # Wait until the workers are actually done before collecting, so no
+        # exposed wait is charged and the run prices as fully overlapped.
+        out = srv.collect_all()
+        summary = serve_summary(srv.metrics_dict())
+    assert len(out) == 4
+    assert summary["inference_total_s"] > 0
+    assert summary["overlap_efficiency"] > 0.9
+
+
+def test_close_is_idempotent():
+    srv = SurrogateServer(surrogate=_surr(), transport="process", n_workers=1)
+    _submit(srv, 0)
+    srv.collect(5)
+    srv.close()
+    srv.close()
+
+
+def test_requires_surrogate_or_spec():
+    with pytest.raises(ValueError):
+        SurrogateServer()
+    with pytest.raises(ValueError):
+        SurrogateServer(surrogate=_surr(), transport="smoke-signals")
+
+
+def test_simulation_process_transport_bit_identical_to_sync():
+    """End-to-end: a run with SN events, sync vs process transport."""
+
+    def _run(transport):
+        box = make_turbulent_box(n_per_side=6, side=60.0, mean_density=0.05,
+                                 temperature=100.0, mach=2.0, seed=3)
+        star = ParticleSet.empty(1)
+        star.pos[:] = 0.0
+        star.mass[:] = 20.0
+        star.ptype[:] = int(ParticleType.STAR)
+        star.pid[:] = 10_000_000
+        star.tsn[:] = 0.004
+        star.eps[:] = 1.0
+        cfg = IntegratorConfig(self_gravity=False, enable_cooling=False,
+                               enable_star_formation=False)
+        sim = GalaxySimulation(
+            box.append(star), dt=2e-3, n_pool=4, latency_steps=3,
+            surrogate_grid=8, seed=7, config=cfg,
+            serve_transport=transport, serve_workers=N_WORKERS,
+            serve_max_batch=2,
+        )
+        try:
+            sim.run(8)
+            assert sim.integrator.n_sn_events == 1
+            assert sim.pool.summary()["n_returned"] == 1
+            return sim.ps.copy()
+        finally:
+            sim.close()
+
+    ps_sync = _run("sync")
+    ps_proc = _run("process")
+    for name, arr in ps_sync.data.items():
+        assert np.array_equal(ps_proc.data[name], arr), name

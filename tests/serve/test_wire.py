@@ -1,0 +1,115 @@
+"""Wire format: round trips, validation, per-event seeding."""
+
+import numpy as np
+import pytest
+
+from repro.fdps.particles import ParticleSet, ParticleType, packed_width
+from repro.serve.wire import (
+    REQUEST_MAGIC,
+    RESPONSE_MAGIC,
+    ServeRequest,
+    ServeResponse,
+    event_rng,
+)
+
+
+def _region(n=20, seed=0):
+    rng = np.random.default_rng(seed)
+    ps = ParticleSet.from_arrays(
+        pos=rng.uniform(-25, 25, (n, 3)),
+        mass=rng.uniform(0.5, 2.0, n),
+        pid=np.arange(n) + 7,
+        ptype=np.full(n, int(ParticleType.GAS)),
+    )
+    ps.u[:] = rng.uniform(10, 50, n)
+    ps.h[:] = 8.0
+    ps.zmet[:] = rng.uniform(0, 1e-3, (n, 4))
+    return ps
+
+
+def _request(n=20, seed=0):
+    return ServeRequest(
+        event_id=42,
+        base_seed=3,
+        star_pid=123,
+        dispatch_step=10,
+        return_step=15,
+        center=np.array([1.0, -2.0, 3.0]),
+        region=_region(n, seed),
+    )
+
+
+def test_request_roundtrip_is_exact():
+    req = _request()
+    back = ServeRequest.from_buffer(req.to_buffer())
+    assert back.event_id == 42
+    assert back.base_seed == 3
+    assert back.star_pid == 123
+    assert back.dispatch_step == 10
+    assert back.return_step == 15
+    assert np.array_equal(back.center, req.center)
+    for name, arr in req.region.data.items():
+        assert np.array_equal(back.region.data[name], arr), name
+
+
+def test_response_roundtrip_is_exact():
+    res = ServeResponse(event_id=9, return_step=55, particles=_region(11, seed=4))
+    back = ServeResponse.from_buffer(res.to_buffer())
+    assert back.event_id == 9
+    assert back.return_step == 55
+    for name, arr in res.particles.data.items():
+        assert np.array_equal(back.particles.data[name], arr), name
+
+
+def test_buffer_nbytes_is_header_plus_packed_payload():
+    req = _request(n=20)
+    assert req.to_buffer().nbytes == (12 + 20 * packed_width()) * 8
+
+
+def test_empty_region_roundtrip():
+    req = _request(n=0)
+    back = ServeRequest.from_buffer(req.to_buffer())
+    assert len(back.region) == 0
+
+
+def test_wrong_magic_rejected():
+    buf = _request().to_buffer()
+    buf[0] = RESPONSE_MAGIC
+    with pytest.raises(ValueError, match="magic"):
+        ServeRequest.from_buffer(buf)
+
+
+def test_wrong_version_rejected():
+    buf = _request().to_buffer()
+    buf[1] = 99
+    with pytest.raises(ValueError, match="version"):
+        ServeRequest.from_buffer(buf)
+
+
+def test_truncated_payload_rejected():
+    buf = _request().to_buffer()
+    with pytest.raises(ValueError, match="length"):
+        ServeRequest.from_buffer(buf[:-5])
+
+
+def test_wrong_width_rejected():
+    buf = _request(n=20).to_buffer()
+    buf[11] = packed_width() + 1
+    with pytest.raises(ValueError, match="width"):
+        ServeRequest.from_buffer(buf)
+
+
+def test_event_rng_deterministic_and_distinct():
+    a = event_rng(1, 100, 5).uniform(size=4)
+    b = event_rng(1, 100, 5).uniform(size=4)
+    assert np.array_equal(a, b)
+    # Any coordinate change gives an independent stream.
+    for other in (event_rng(2, 100, 5), event_rng(1, 101, 5), event_rng(1, 100, 6)):
+        assert not np.array_equal(a, other.uniform(size=4))
+
+
+def test_request_rng_matches_event_rng():
+    req = _request()
+    assert np.array_equal(
+        req.rng().uniform(size=3), event_rng(3, 123, 10).uniform(size=3)
+    )
