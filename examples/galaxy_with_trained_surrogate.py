@@ -2,35 +2,43 @@
 
 This is the complete ASURA-FDPS-ML loop of the paper in one script:
 
-1. train the 3D U-Net surrogate on Sedov-in-turbulence pairs;
+1. train the 3D U-Net surrogate on Sedov-in-turbulence pairs and export
+   it with ``save_model`` (the CPU deployment artifact of Sec. 3.3);
 2. build a gas-rich dwarf galaxy with a massive star about to explode;
 3. integrate with the fixed 2,000-yr global timestep; when the star goes
    off, its (60 pc)^3 region is shipped to a pool node, the *trained
-   network* predicts the post-SN state, and the particles come back by ID.
+   network* — reloaded from the export via ``surrogate_model_path`` —
+   predicts the post-SN state, and the particles come back by ID.
 
 Run:  python examples/galaxy_with_trained_surrogate.py
 """
 
 
+import tempfile
+from pathlib import Path
+
 from repro.core.simulation import GalaxySimulation
 from repro.core.integrator import IntegratorConfig
 from repro.fdps.particles import ParticleSet, ParticleType
+from repro.ml.serialize import save_model
 from repro.ml.train import train_model
 from repro.ml.unet import UNet3D
 from repro.sn.turbulence import make_turbulent_box
-from repro.surrogate.model import SNSurrogate
 from repro.surrogate.training_data import build_dataset
 from repro.util.constants import internal_energy_to_temperature
 
 
 def main() -> None:
-    # --- 1. train ------------------------------------------------------------
+    # --- 1. train and export ---------------------------------------------------
     print("training the surrogate (12 pairs, 8^3 grid) ...")
     ds = build_dataset(12, base_seed=0, n_grid=8, n_per_side=10)
     net = UNet3D(in_channels=8, out_channels=5, base_channels=4, depth=1, seed=0)
     hist = train_model(net, ds.inputs, ds.targets, epochs=30, lr=2e-3,
                        val_fraction=0.25, seed=0)
     print(f"  val loss {hist.val[0]:.3f} -> {hist.best_val:.3f}")
+    deploy_dir = tempfile.mkdtemp(prefix="galaxy_surrogate_")
+    export = save_model(net, Path(deploy_dir) / "galaxy_surrogate")
+    print(f"  exported to {export}")
 
     # --- 2. a dwarf with a doomed star ----------------------------------------
     box = make_turbulent_box(n_per_side=10, side=60.0, mean_density=0.3,
@@ -43,11 +51,11 @@ def main() -> None:
     star.eps[:] = 1.0
     ps = box.append(star)
 
-    # --- 3. integrate with the trained surrogate -------------------------------
-    surrogate = SNSurrogate(predictor=net.forward, n_grid=8, side=60.0)
+    # --- 3. integrate with the trained, exported surrogate ---------------------
     cfg = IntegratorConfig(dt=2e-3, latency_steps=4, n_pool=4,
                            enable_star_formation=False, self_gravity=False)
-    sim = GalaxySimulation(ps, dt=2e-3, surrogate=surrogate, n_pool=4,
+    sim = GalaxySimulation(ps, dt=2e-3, surrogate_model_path=export,
+                           surrogate_grid=8, n_pool=4,
                            latency_steps=4, config=cfg, seed=0)
 
     for _ in range(8):

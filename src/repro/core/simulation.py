@@ -41,15 +41,27 @@ class GalaxySimulation:
         with physically sensible SN behaviour.  Pass a U-Net-backed
         surrogate (see ``examples/train_surrogate.py``) for the paper's
         trained-model path.
+    surrogate_model_path : path to a trained U-Net export
+        (:func:`repro.ml.serialize.save_model`); builds the trained-model
+        surrogate on ``surrogate_grid`` directly, and — because the loaded
+        engine remembers its path — serve workers and checkpoints carry a
+        ``kind="model"`` :class:`~repro.serve.SurrogateSpec` instead of a
+        pickled network.  Mutually exclusive with ``surrogate``.
     n_pool / latency_steps : the pool sizing rule of Sec. 3.2 — by default
         latency = n_pool so every SN region spends 0.1 Myr worth of global
         steps in flight.
-    serve_transport : ``"sync"`` (in-process, the deterministic default) or
-        ``"process"`` — real worker processes running SN inference fully
-        overlapped with the integration (see :mod:`repro.serve`).  Both
-        produce bit-identical particle state for the same seeds.
+    serve_transport : ``"sync"`` (in-process, the deterministic default),
+        ``"process"`` (worker processes fed through pickled queues), or
+        ``"shm"`` (worker processes reading/writing a zero-copy
+        shared-memory ring) — see the transport table in
+        :mod:`repro.serve`.  All produce bit-identical particle state for
+        the same seeds.
     serve_workers / serve_max_batch / serve_max_wait_steps : service sizing
         (worker processes, batch coalescing, deadline-aware flush).
+    serve_shm_slots / serve_shm_slot_particles : ``shm`` ring sizing; size
+        ``serve_shm_slot_particles`` to at least the largest expected SN
+        region, or bigger requests silently fall back to the pickled queue
+        (counted in the service metrics' ``n_shm_fallback``).
     overflow_policy : what :class:`PoolManager` does when every pool node
         is busy — ``"queue"`` (legacy), ``"block"``, ``"spill"``, or
         ``"oracle"`` (:class:`repro.serve.OverflowPolicy`).
@@ -60,6 +72,7 @@ class GalaxySimulation:
         ps: ParticleSet,
         dt: float = 2.0e-3,
         surrogate: SNSurrogate | None = None,
+        surrogate_model_path: str | Path | None = None,
         n_pool: int = 50,
         latency_steps: int | None = None,
         config: IntegratorConfig | None = None,
@@ -71,6 +84,8 @@ class GalaxySimulation:
         serve_workers: int = 2,
         serve_max_batch: int = 8,
         serve_max_wait_steps: int = 1,
+        serve_shm_slots: int = 32,
+        serve_shm_slot_particles: int = 4096,
         overflow_policy: OverflowPolicy | str = OverflowPolicy.QUEUE,
     ) -> None:
         cfg = config or IntegratorConfig()
@@ -79,6 +94,18 @@ class GalaxySimulation:
         cfg.latency_steps = latency_steps if latency_steps is not None else n_pool
         cfg.seed = seed
         horizon = cfg.latency_steps * dt      # prediction horizon (0.1 Myr dflt)
+        if surrogate_model_path is not None:
+            if surrogate is not None:
+                raise ValueError(
+                    "pass either surrogate or surrogate_model_path, not both"
+                )
+            from repro.ml.serialize import InferenceEngine
+
+            surrogate = SNSurrogate(
+                predictor=InferenceEngine.load(surrogate_model_path),
+                n_grid=surrogate_grid,
+                side=cfg.region_side,
+            )
         if surrogate is None:
             surrogate = SNSurrogate(
                 oracle=SedovBlastOracle(t_after=horizon),
@@ -91,6 +118,8 @@ class GalaxySimulation:
             n_workers=serve_workers,
             max_batch=serve_max_batch,
             max_wait_steps=serve_max_wait_steps,
+            shm_slots=serve_shm_slots,
+            shm_slot_particles=serve_shm_slot_particles,
         )
         self.pool = PoolManager(
             surrogate=surrogate,
@@ -199,6 +228,9 @@ class GalaxySimulation:
             kwargs["serve_workers"] = serve_meta["n_workers"]
             kwargs["serve_max_batch"] = serve_meta["max_batch"]
             kwargs["serve_max_wait_steps"] = serve_meta["max_wait_steps"]
+            if "shm_slots" in serve_meta:          # absent in older checkpoints
+                kwargs["serve_shm_slots"] = serve_meta["shm_slots"]
+                kwargs["serve_shm_slot_particles"] = serve_meta["shm_slot_particles"]
         if meta.get("surrogate_spec") is not None:
             kwargs["surrogate"] = SurrogateSpec(**meta["surrogate_spec"]).build()
         elif "surrogate_spec" in meta and "surrogate" not in overrides:

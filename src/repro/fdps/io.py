@@ -112,9 +112,10 @@ def save_simulation(sim, path: str | Path) -> None:
     integ = sim.integrator
     pool = sim.pool
     # Persist what is needed to rebuild the same service: the surrogate
-    # itself only when a spec is derivable (the Sedov-oracle path); a
-    # predictor-backed surrogate must be re-supplied via restore(surrogate=)
-    # — restore() warns in that case.
+    # itself only when a spec is derivable (the Sedov oracle, or a trained
+    # export whose InferenceEngine records its model_path); a surrogate
+    # backed by an anonymous in-memory predictor must be re-supplied via
+    # restore(surrogate=) — restore() warns in that case.
     try:
         surrogate_spec = asdict(SurrogateSpec.from_surrogate(pool.server.local_surrogate))
     except ValueError:
@@ -124,6 +125,8 @@ def save_simulation(sim, path: str | Path) -> None:
         "n_workers": max(1, pool.server.n_workers),
         "max_batch": pool.server.scheduler.max_batch,
         "max_wait_steps": pool.server.scheduler.max_wait_steps,
+        "shm_slots": pool.server.shm_slots,
+        "shm_slot_particles": pool.server.shm_slot_particles,
     }
     ps_save = sim.ps
     pending = [e for e in sim.pool.events if not e.returned]

@@ -19,8 +19,26 @@ import numpy as np
 from repro.ml.unet import UNet3D
 
 
-def save_model(model: UNet3D, path: str | Path) -> None:
-    """Serialize architecture + weights to one ``.npz`` file."""
+def npz_path(path: str | Path) -> Path:
+    """The path a model export actually lives at.
+
+    ``np.savez`` silently appends ``.npz`` when the target lacks it, so an
+    un-normalized ``save_model(p); load_model(p)`` round trip used to write
+    ``p + ".npz"`` and then fail to find ``p``.  Both directions normalize
+    through this single rule instead.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def save_model(model: UNet3D, path: str | Path) -> Path:
+    """Serialize architecture + weights to one ``.npz`` file.
+
+    Returns the (suffix-normalized) path the file was written to.
+    """
+    path = npz_path(path)
     payload: dict[str, np.ndarray] = {
         f"param/{k}": v for k, v in model.params().items()
     }
@@ -28,11 +46,12 @@ def save_model(model: UNet3D, path: str | Path) -> None:
         json.dumps(model.config()).encode("utf-8"), dtype=np.uint8
     )
     np.savez(path, **payload)
+    return path
 
 
 def load_model(path: str | Path) -> UNet3D:
     """Rebuild a trainable U-Net from a saved file."""
-    with np.load(path) as data:
+    with np.load(npz_path(path)) as data:
         config = json.loads(bytes(data["config"]).decode("utf-8"))
         model = UNet3D(**config)
         model.load_params(
@@ -48,14 +67,23 @@ class InferenceEngine:
 
         engine = InferenceEngine.load("surrogate.npz")
         fields_out = engine(fields_in)     # (C_in, n, n, n) -> (C_out, n, n, n)
+
+    An engine built through :meth:`load` remembers its ``model_path``, which
+    is what lets :meth:`repro.serve.SurrogateSpec.from_surrogate` derive a
+    ``kind="model"`` recipe — serve workers then reload the export
+    themselves instead of receiving a pickled copy of every weight tensor.
     """
 
-    def __init__(self, model: UNet3D) -> None:
+    def __init__(self, model: UNet3D, model_path: str | Path | None = None) -> None:
         self._model = model
+        #: Where the export was loaded from (None for in-memory engines).
+        self.model_path: str | None = (
+            str(npz_path(model_path)) if model_path is not None else None
+        )
 
     @classmethod
     def load(cls, path: str | Path) -> "InferenceEngine":
-        return cls(load_model(path))
+        return cls(load_model(path), model_path=path)
 
     @property
     def in_channels(self) -> int:

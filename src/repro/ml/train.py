@@ -44,7 +44,11 @@ def train_model(
     """Train ``model`` on (inputs[i], targets[i]) pairs, batch size 1.
 
     ``patience`` enables early stopping when validation loss has not
-    improved for that many epochs.  Returns the loss history.
+    improved for that many epochs; the model is then left holding the
+    weights of its *best* validation epoch, not the stale last-epoch ones —
+    the paper keeps the model "once validation error converged and
+    stabilized", which is the converged snapshot, not whatever the final
+    (worse) update produced.  Returns the loss history.
     """
     if len(inputs) != len(targets):
         raise ValueError("inputs and targets must pair up")
@@ -63,6 +67,7 @@ def train_model(
     history = TrainHistory()
     stale = 0
     best = np.inf
+    best_params: dict[str, np.ndarray] | None = None
     for _epoch in range(epochs):
         order = rng.permutation(train_idx) if shuffle else train_idx
         ep_loss = 0.0
@@ -83,10 +88,16 @@ def train_model(
         if patience is not None:
             if v < best - 1e-12:
                 best, stale = v, 0
+                best_params = {k: p.copy() for k, p in model.params().items()}
             else:
                 stale += 1
                 if stale >= patience:
                     break
+    if best_params is not None:
+        # Restore the best-validation snapshot in place (the optimizer
+        # mutates the live arrays, so in-place restore keeps identity).
+        for k, p in model.params().items():
+            p[...] = best_params[k]
     return history
 
 

@@ -130,6 +130,16 @@ def serve_summary(metrics: dict) -> dict[str, float]:
     total = worker_busy + inline
     exposed = inline + min(exposed_wait, worker_busy)
     hidden = max(total - exposed, 0.0)
+    # Transport copy semantics: bytes that crossed to/from the workers, and
+    # — for the shm transport — the fraction of *dispatched* requests that
+    # moved zero-copy through the shared ring rather than being pickled
+    # down a pipe.  Both legs are counted at dispatch time, so inline
+    # predictions (spill/oracle overflow) that never touch the transport
+    # stay out of the denominator.
+    n_slot = float(metrics.get("n_shm_slot", 0.0))
+    n_fallback = float(metrics.get("n_shm_fallback", 0.0))
+    dispatched = n_slot + n_fallback
+    zero_copy = n_slot / dispatched if dispatched else 0.0
     return {
         "inference_total_s": total,
         "inference_hidden_s": hidden,
@@ -138,6 +148,11 @@ def serve_summary(metrics: dict) -> dict[str, float]:
         "worker_utilization": float(metrics.get("worker_utilization", 0.0)),
         "latency_steps_p50": float(metrics.get("latency_steps_p50", 0.0)),
         "latency_steps_p95": float(metrics.get("latency_steps_p95", 0.0)),
+        "transport_bytes": float(metrics.get("bytes_in", 0.0))
+        + float(metrics.get("bytes_out", 0.0)),
+        "shm_zero_copy_fraction": (
+            zero_copy if metrics.get("shm_n_slots", 0) else 0.0
+        ),
     }
 
 

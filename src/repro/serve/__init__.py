@@ -19,16 +19,53 @@ path.  This package realizes that overlap in-process-tree form:
   dropped without at least an oracle-fallback prediction.
 
 :class:`repro.core.pool.PoolManager` is a thin client over this service;
-``examples/serve_inference.py`` drives a standalone server, and
-``benchmarks/bench_serve_throughput.py`` measures regions/s and overlap
-efficiency against pool-worker count.
+``examples/serve_inference.py`` drives a standalone server,
+``examples/serve_trained_unet.py`` serves a trained exported U-Net, and
+``benchmarks/bench_serve_throughput.py`` / ``bench_shm_transport.py``
+measure regions/s, overlap efficiency, and cross-transport parity.
+
+Choosing a transport
+--------------------
+
+All three produce bit-identical predictions (per-event seeded Gibbs); they
+differ only in *where* inference runs and *how* the payload bytes move:
+
+========== ===================== ============================== =====================
+transport  where inference runs  payload copy semantics         when to use
+========== ===================== ============================== =====================
+``sync``   caller's thread, at   none — buffers stay in          tests, debugging,
+           flush time            process                         deterministic refs;
+                                                                 inference is fully
+                                                                 exposed on the main
+                                                                 path
+``process`` ``n_workers`` OS     pickled through a queue pipe,   overlap on small
+           processes             twice per direction (request    payloads / toy
+                                 out, response back)             grids; no shared
+                                                                 memory available
+``shm``    ``n_workers`` OS      zero-copy: one memmove into a   production regions
+           processes             shared ring slot, worker        (the paper's 64^3
+                                 decodes from and overwrites     serving path) —
+                                 the slot in place; queues       pipe traffic is
+                                 carry only slot indices         O(events), not
+                                                                 O(bytes)
+========== ===================== ============================== =====================
+
+The ``SimComm`` ``pool_p2p`` ledger always charges the wire buffer's exact
+``nbytes``, so the measured communication volume is transport-independent.
 """
 
 from repro.serve.batch import BatchScheduler
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.policies import OverflowPolicy
 from repro.serve.server import SurrogateServer, SurrogateSpec, predict_batch_buffers
-from repro.serve.wire import ServeRequest, ServeResponse, event_rng
+from repro.serve.shm import SharedMemoryRing
+from repro.serve.wire import (
+    ServeRequest,
+    ServeResponse,
+    event_rng,
+    request_nfloats,
+    response_nfloats,
+)
 
 __all__ = [
     "BatchScheduler",
@@ -36,8 +73,11 @@ __all__ = [
     "ServeRequest",
     "ServeResponse",
     "ServiceMetrics",
+    "SharedMemoryRing",
     "SurrogateServer",
     "SurrogateSpec",
     "event_rng",
     "predict_batch_buffers",
+    "request_nfloats",
+    "response_nfloats",
 ]

@@ -48,6 +48,15 @@ class ServiceMetrics:
     n_spilled: int = 0
     n_oracle_fallback: int = 0
     blocked_stall_steps: int = 0
+    # --- shm-transport accounting --------------------------------------------
+    #: Requests dispatched zero-copy through a shared-memory ring slot.
+    n_shm_slot: int = 0
+    #: Requests that could not use a shared-memory slot (ring exhausted or
+    #: payload larger than a slot) and rode the pickled queue instead.
+    n_shm_fallback: int = 0
+    #: Ring geometry (0 unless the transport is ``shm``).
+    shm_n_slots: int = 0
+    shm_slot_bytes: int = 0
     # --- wall-clock window for utilization ----------------------------------
     started_at: float | None = None
     stopped_at: float | None = None
@@ -131,4 +140,8 @@ class ServiceMetrics:
             "n_spilled": self.n_spilled,
             "n_oracle_fallback": self.n_oracle_fallback,
             "blocked_stall_steps": self.blocked_stall_steps,
+            "n_shm_slot": self.n_shm_slot,
+            "n_shm_fallback": self.n_shm_fallback,
+            "shm_n_slots": self.shm_n_slots,
+            "shm_slot_bytes": self.shm_slot_bytes,
         }

@@ -12,9 +12,13 @@ The server owns a :class:`BatchScheduler` and a transport:
   main rank ever pays is the submit/collect bookkeeping, plus an *exposed
   wait* (recorded in :class:`ServiceMetrics`) when a prediction misses its
   return step.
+* ``shm`` — the same worker pool, but every request and prediction lives
+  in a :class:`repro.serve.shm.SharedMemoryRing` slot; the queues carry
+  only slot indices, so nothing is pickled and no payload bytes cross a
+  pipe (see :mod:`repro.serve.shm`).
 
 Because the Gibbs re-sampling is seeded per event
-(:func:`repro.serve.wire.event_rng`), both transports — and any batch
+(:func:`repro.serve.wire.event_rng`), all transports — and any batch
 composition or worker count — produce bit-identical predictions.
 """
 
@@ -57,6 +61,18 @@ class SurrogateSpec:
     t_floor: float = 10.0
     # model parameters
     model_path: str | None = None
+    #: Non-default field-transform parameters as (rho_floor, t_floor,
+    #: v_floor, v_scale); None means the default FieldTransform.  Captured
+    #: so a worker-built surrogate encodes/decodes exactly like the
+    #: in-process one.
+    transform: tuple | None = None
+
+    def _transform_kwargs(self) -> dict:
+        if self.transform is None:
+            return {}
+        from repro.surrogate.transforms import FieldTransform
+
+        return {"transform": FieldTransform(*self.transform)}
 
     def build(self) -> SNSurrogate:
         if self.kind == "oracle":
@@ -67,6 +83,7 @@ class SurrogateSpec:
                 n_grid=self.n_grid,
                 side=self.side,
                 gibbs_sweeps=self.gibbs_sweeps,
+                **self._transform_kwargs(),
             )
         if self.kind == "model":
             from repro.ml.serialize import InferenceEngine
@@ -78,26 +95,61 @@ class SurrogateSpec:
                 n_grid=self.n_grid,
                 side=self.side,
                 gibbs_sweeps=self.gibbs_sweeps,
+                **self._transform_kwargs(),
             )
         raise ValueError(f"unknown surrogate spec kind {self.kind!r}")
 
     @classmethod
     def from_surrogate(cls, surr: SNSurrogate) -> "SurrogateSpec":
-        """Best-effort spec for an existing oracle-backed surrogate."""
-        if not isinstance(surr.oracle, SedovBlastOracle):
+        """Best-effort spec for an existing surrogate.
+
+        Two deployments are derivable: the analytic Sedov oracle, and a
+        trained exported model whose predictor remembers where it was
+        loaded from (:class:`repro.ml.serialize.InferenceEngine` records
+        ``model_path``) — workers then reload the export themselves instead
+        of inheriting a pickled copy of every weight tensor.
+        """
+        from dataclasses import astuple
+
+        from repro.surrogate.transforms import FieldTransform
+
+        if type(surr.transform) is not FieldTransform:
             raise ValueError(
-                "only oracle-backed surrogates have a derivable spec; "
-                "pass a SurrogateSpec(kind='model', model_path=...) or let the "
-                "server pickle the surrogate object itself"
+                "no derivable spec: the surrogate uses a custom transform "
+                "object the spec cannot capture; let the server pickle the "
+                "surrogate itself"
             )
-        return cls(
-            kind="oracle",
-            n_grid=surr.n_grid,
-            side=surr.side,
-            gibbs_sweeps=surr.gibbs_sweeps,
-            t_after=surr.oracle.t_after,
-            energy=surr.oracle.energy,
-            t_floor=surr.oracle.t_floor,
+        transform = (
+            None if surr.transform == FieldTransform()
+            else astuple(surr.transform)
+        )
+        if isinstance(surr.oracle, SedovBlastOracle):
+            return cls(
+                kind="oracle",
+                n_grid=surr.n_grid,
+                side=surr.side,
+                gibbs_sweeps=surr.gibbs_sweeps,
+                t_after=surr.oracle.t_after,
+                energy=surr.oracle.energy,
+                t_floor=surr.oracle.t_floor,
+                transform=transform,
+            )
+        model_path = getattr(surr.predictor, "model_path", None)
+        if model_path:
+            return cls(
+                kind="model",
+                model_path=str(model_path),
+                n_grid=surr.n_grid,
+                side=surr.side,
+                gibbs_sweeps=surr.gibbs_sweeps,
+                transform=transform,
+            )
+        raise ValueError(
+            "no derivable spec: the surrogate is neither Sedov-oracle-backed "
+            "nor backed by a predictor that records its model_path (load the "
+            "export via InferenceEngine.load); pass a SurrogateSpec("
+            "kind='model', model_path=...) or let the server pickle the "
+            "surrogate object itself"
         )
 
 
@@ -247,15 +299,21 @@ class SurrogateServer:
 
     Parameters
     ----------
-    surrogate : in-process surrogate (required for ``sync``; for
-        ``process`` it is the pickled fallback when ``spec`` is absent and
-        the builder of inline spill/oracle predictions).
+    surrogate : in-process surrogate (required for ``sync``; for the
+        worker transports it is the recipe source when ``spec`` is absent —
+        a spec is derived when possible, else the object itself is pickled
+        — and the builder of inline spill/oracle predictions).
     spec : a :class:`SurrogateSpec` workers build from (preferred for the
-        process transport — each worker loads its own model instead of
+        worker transports — each worker loads its own model instead of
         inheriting a pickled copy through the queue args).
-    transport : ``"sync"`` or ``"process"``.
+    transport : ``"sync"``, ``"process"``, or ``"shm"`` (zero-copy
+        shared-memory ring, see :mod:`repro.serve.shm`).
     n_workers / max_batch / max_wait_steps / pad_to : see module and
         :class:`BatchScheduler` docs.
+    shm_slots / shm_slot_particles : ``shm`` ring sizing — slot count and
+        the per-slot particle capacity (a bigger request falls back to the
+        pickled queue path for that event, so these are performance knobs,
+        not correctness limits).
     """
 
     def __init__(
@@ -268,6 +326,8 @@ class SurrogateServer:
         max_wait_steps: int = 1,
         pad_to: int | None = None,
         ctx_method: str | None = None,
+        shm_slots: int = 32,
+        shm_slot_particles: int = 4096,
     ) -> None:
         if surrogate is None and spec is None:
             raise ValueError("need a surrogate or a SurrogateSpec")
@@ -281,14 +341,28 @@ class SurrogateServer:
         )
         self._surrogate = surrogate
         self._spec = spec
+        self.shm_slots = shm_slots
+        self.shm_slot_particles = shm_slot_particles
         if transport == "sync":
             self._transport = _SyncTransport(
                 self.local_surrogate, self.metrics, pad_to
             )
         elif transport == "process":
             self._transport = _ProcessTransport(
-                spec if spec is not None else surrogate, n_workers, ctx_method, pad_to
+                self._worker_recipe(), n_workers, ctx_method, pad_to
             )
+        elif transport == "shm":
+            from repro.serve.shm import _ShmTransport
+            from repro.serve.wire import request_nfloats
+
+            self._transport = _ShmTransport(
+                self._worker_recipe(), n_workers, ctx_method, pad_to,
+                n_slots=shm_slots,
+                slot_floats=request_nfloats(shm_slot_particles),
+                metrics=self.metrics,
+            )
+            self.metrics.shm_n_slots = shm_slots
+            self.metrics.shm_slot_bytes = request_nfloats(shm_slot_particles) * 8
         else:
             raise ValueError(f"unknown transport {transport!r}")
         self._next_event_id = 0
@@ -300,6 +374,21 @@ class SurrogateServer:
         self._closed = False
 
     # -------------------------------------------------------------- plumbing
+    def _worker_recipe(self):
+        """What the worker transports build their surrogate from.
+
+        Prefer a :class:`SurrogateSpec` (explicit, or derived from the
+        in-process surrogate — oracle- and exported-model-backed both
+        derive) so each worker builds its own; fall back to pickling the
+        surrogate object for predictors with no serializable recipe.
+        """
+        if self._spec is not None:
+            return self._spec
+        try:
+            return SurrogateSpec.from_surrogate(self._surrogate)
+        except ValueError:
+            return self._surrogate
+
     @property
     def local_surrogate(self) -> SNSurrogate:
         """An in-process surrogate (built lazily from the spec if needed)."""

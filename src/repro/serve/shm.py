@@ -1,0 +1,338 @@
+"""Zero-copy shared-memory transport: a ring of packed-``FIELDS`` slots.
+
+The ``process`` transport ships every request and response through a
+``multiprocessing.Queue`` — each crossing pickles the float64 payload and
+copies it through a pipe twice (feeder thread write + reader drain).  At
+the paper's production grid the per-event payload is hundreds of kilobytes
+and, as the precursor works found, that data movement (not the forward
+pass) is what dominates pool-node cost.  This module removes it:
+
+* :class:`SharedMemoryRing` — one ``multiprocessing.shared_memory`` block
+  cut into fixed-size float64 slots, mapped as an ``(n_slots, slot_floats)``
+  array in the main process and in every worker.
+* Requests are encoded straight into a free slot (one memmove of the
+  already-wire-framed buffer); workers decode them *from the slot*, run the
+  batched predictor, and overwrite the slot with the encoded prediction in
+  place — a response never outgrows the request that carried the same
+  particles (smaller header, identical payload shape).
+* Only tiny control tuples ``(batch_id, [(slot, nfloats), ...])`` cross the
+  queues, so pipe traffic is O(events), not O(bytes).
+
+The slots reuse the exact :mod:`repro.serve.wire` framing, so the byte
+figures charged to the :class:`~repro.fdps.comm.SimComm` ``pool_p2p``
+ledger — always the wire buffer's ``nbytes`` — are identical across the
+``sync``, ``process`` and ``shm`` transports.
+
+Backpressure: a request that does not fit a slot (or arrives while every
+slot is in flight) falls back to the pickled-queue path of the ``process``
+transport for that one event, counted in
+:attr:`~repro.serve.metrics.ServiceMetrics.n_shm_fallback` — correctness
+never depends on the ring being big enough.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.serve.wire import ServeRequest, ServeResponse
+
+#: Seconds wait() tolerates before declaring the workers dead (mirrors
+#: :data:`repro.serve.server.WORKER_TIMEOUT_S`; kept local to avoid an
+#: import cycle).
+_WORKER_TIMEOUT_S = 120.0
+
+#: Control-entry tags: payload lives in a ring slot / rides the queue.
+SLOT = 0
+INLINE = 1
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without taking tracker ownership.
+
+    Python 3.13+ has ``track=False`` for exactly this.  Before 3.13 an
+    attach re-registers the name with the resource tracker; within one
+    multiprocessing process tree the tracker is shared (its fd rides fork
+    and the spawn preparation data) and its cache is a set, so the extra
+    registration is an idempotent no-op that the owner's ``unlink``
+    clears — explicitly unregistering here would instead make that
+    ``unlink`` double-remove and spam KeyError from the tracker.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: shared tracker, registration harmless
+        return shared_memory.SharedMemory(name=name)
+
+
+class SharedMemoryRing:
+    """A shared block of ``n_slots`` fixed-size float64 slots.
+
+    The creating (main) process owns the segment and unlinks it on
+    :meth:`close`; workers attach by ``name`` and only unmap.  Slot
+    allocation policy lives with the caller — the ring itself is just the
+    mapped memory.
+    """
+
+    def __init__(self, n_slots: int, slot_floats: int, name: str | None = None):
+        if n_slots < 1 or slot_floats < 1:
+            raise ValueError("ring needs at least one slot of at least one float")
+        self.n_slots = int(n_slots)
+        self.slot_floats = int(slot_floats)
+        if name is None:
+            self._seg = shared_memory.SharedMemory(
+                create=True, size=self.n_slots * self.slot_floats * 8
+            )
+            self._owner = True
+        else:
+            self._seg = _attach(name)
+            self._owner = False
+        self.name = self._seg.name
+        self._arr: np.ndarray | None = np.ndarray(
+            (self.n_slots, self.slot_floats), dtype=np.float64, buffer=self._seg.buf
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return self.n_slots * self.slot_floats * 8
+
+    def slot(self, index: int, nfloats: int | None = None) -> np.ndarray:
+        """A live view of slot ``index`` (optionally length-trimmed)."""
+        row = self._arr[index]
+        return row if nfloats is None else row[:nfloats]
+
+    def write(self, index: int, buf: np.ndarray) -> int:
+        """Memmove an encoded wire buffer into a slot; returns floats used."""
+        n = buf.size
+        self._arr[index, :n] = buf
+        return n
+
+    def close(self) -> None:
+        if self._arr is None:
+            return
+        self._arr = None
+        self._seg.close()
+        if self._owner:
+            try:
+                self._seg.unlink()
+            except FileNotFoundError:
+                pass
+    # No __del__: a fork-started worker inherits the owner's ring object,
+    # and a finalizer there would unlink the segment under the main process
+    # when the worker exits.  Lifetime is explicit — the transport (owner)
+    # and the worker main (attachments) both close() in their shutdown
+    # paths, and the resource tracker covers hard crashes of the creator.
+
+
+def serve_batch_in_place(
+    surrogate, ring: SharedMemoryRing, entries, pad_to: int | None = None
+):
+    """Worker inner loop: decode from slots, predict, overwrite in place.
+
+    ``entries`` come from :meth:`_ShmTransport.dispatch`: ``(SLOT, index,
+    nfloats)`` for ring-resident requests, ``(INLINE, buffer)`` for
+    fallback requests that rode the queue.  Returns response entries of the
+    same two shapes.  The prediction path is byte-identical to
+    :func:`repro.serve.server.predict_batch_buffers` — same decode, same
+    batched predictor call, same per-event seeded RNG — so the three
+    transports stay bit-identical.
+    """
+    requests: list[ServeRequest] = []
+    out_slots: list[int | None] = []
+    for entry in entries:
+        if entry[0] == SLOT:
+            _, index, nfloats = entry
+            requests.append(ServeRequest.from_buffer(ring.slot(index, nfloats)))
+            out_slots.append(index)
+        else:
+            requests.append(ServeRequest.from_buffer(entry[1]))
+            out_slots.append(None)
+    predicted = surrogate.predict_batch(
+        [r.region for r in requests],
+        [r.center for r in requests],
+        [r.rng() for r in requests],
+        pad_to=pad_to,
+    )
+    out = []
+    for request, index, particles in zip(requests, out_slots, predicted):
+        response = ServeResponse(
+            event_id=request.event_id,
+            return_step=request.return_step,
+            particles=particles,
+        )
+        if index is None:
+            out.append((INLINE, response.to_buffer()))
+        else:
+            used = response.encode_into(ring.slot(index))
+            out.append((SLOT, index, used))
+    return out
+
+
+def _shm_worker_main(
+    worker_id: int,
+    spec,
+    ring_name: str,
+    n_slots: int,
+    slot_floats: int,
+    req_q,
+    res_q,
+    pad_to: int | None,
+) -> None:
+    """Pool-node worker: attach the ring, build the surrogate, serve."""
+    from repro.serve.server import _resolve_surrogate  # import cycle at top level
+
+    ring = SharedMemoryRing(n_slots, slot_floats, name=ring_name)
+    try:
+        surrogate = _resolve_surrogate(spec)
+        while True:
+            item = req_q.get()
+            if item is None:
+                break
+            batch_id, entries = item
+            t0 = time.perf_counter()
+            try:
+                responses = serve_batch_in_place(surrogate, ring, entries, pad_to)
+            except Exception as exc:  # ship the failure instead of dying silently
+                res_q.put((batch_id, worker_id, exc, 0.0))
+                continue
+            res_q.put((batch_id, worker_id, responses, time.perf_counter() - t0))
+    finally:
+        ring.close()
+
+
+class _ShmTransport:
+    """N workers reading/writing ring slots; queues carry only slot indices.
+
+    Implements the same transport protocol as ``_ProcessTransport``
+    (``dispatch`` / ``poll`` / ``wait`` / ``close`` returning ``(batch_id,
+    worker_id, [response buffers], busy_s)`` items), so
+    :class:`~repro.serve.server.SurrogateServer` cannot tell them apart —
+    only the bytes move differently.
+    """
+
+    def __init__(
+        self,
+        spec,
+        n_workers: int,
+        ctx_method: str | None = None,
+        pad_to: int | None = None,
+        n_slots: int = 32,
+        slot_floats: int = 0,
+        metrics=None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("shm transport needs at least one worker")
+        if slot_floats < 1:
+            raise ValueError("shm transport needs a positive slot size")
+        methods = mp.get_all_start_methods()
+        method = ctx_method or ("fork" if "fork" in methods else "spawn")
+        ctx = mp.get_context(method)
+        self._ring = SharedMemoryRing(n_slots, slot_floats)
+        self._free = list(range(n_slots - 1, -1, -1))   # stack of free slots
+        self._batch_slots: dict[int, list[int]] = {}    # in-flight slot leases
+        self._metrics = metrics
+        self._req_q = ctx.Queue()
+        self._res_q = ctx.Queue()
+        self._workers = [
+            ctx.Process(
+                target=_shm_worker_main,
+                args=(
+                    i, spec, self._ring.name, n_slots, slot_floats,
+                    self._req_q, self._res_q, pad_to,
+                ),
+                daemon=True,
+                name=f"repro-serve-shm-worker-{i}",
+            )
+            for i in range(n_workers)
+        ]
+        for w in self._workers:
+            w.start()
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def n_free_slots(self) -> int:
+        return len(self._free)
+
+    def dispatch(self, batch_id: int, buffers: list[np.ndarray]) -> None:
+        entries = []
+        leased: list[int] = []
+        for buf in buffers:
+            if self._free and buf.size <= self._ring.slot_floats:
+                index = self._free.pop()
+                self._ring.write(index, buf)
+                leased.append(index)
+                entries.append((SLOT, index, buf.size))
+                if self._metrics is not None:
+                    self._metrics.n_shm_slot += 1
+            else:
+                # Oversize request or exhausted ring: this one event rides
+                # the queue (pickled), like the process transport.
+                if self._metrics is not None:
+                    self._metrics.n_shm_fallback += 1
+                entries.append((INLINE, buf))
+        self._batch_slots[batch_id] = leased
+        self._req_q.put((batch_id, entries))
+
+    def _convert(self, item):
+        """Turn a worker reply into the server's (id, wid, buffers, s) shape.
+
+        Slot-resident responses are memmoved out of the ring (the response
+        object outlives the slot's next lease) and every slot the batch
+        leased is returned to the free stack — also on the failure path, so
+        a worker exception cannot leak slots.
+        """
+        batch_id, worker_id, payload, busy_s = item
+        leased = self._batch_slots.pop(batch_id, [])
+        try:
+            if isinstance(payload, Exception):
+                return (batch_id, worker_id, payload, busy_s)
+            buffers = []
+            for entry in payload:
+                if entry[0] == SLOT:
+                    _, index, nfloats = entry
+                    buffers.append(np.array(self._ring.slot(index, nfloats)))
+                else:
+                    buffers.append(entry[1])
+            return (batch_id, worker_id, buffers, busy_s)
+        finally:
+            self._free.extend(leased)
+
+    def poll(self):
+        out = []
+        while True:
+            try:
+                out.append(self._convert(self._res_q.get_nowait()))
+            except queue_mod.Empty:
+                return out
+
+    def wait(self, timeout: float = _WORKER_TIMEOUT_S):
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self._convert(self._res_q.get(timeout=1.0))
+            except queue_mod.Empty:
+                if not any(w.is_alive() for w in self._workers):
+                    raise RuntimeError("all serve workers died") from None
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"no serve response within {timeout:.0f}s"
+                    ) from None
+
+    def close(self) -> None:
+        for _ in self._workers:
+            self._req_q.put(None)
+        for w in self._workers:
+            w.join(timeout=10.0)
+        for w in self._workers:
+            if w.is_alive():
+                w.terminate()
+                w.join(timeout=5.0)
+        self._req_q.close()
+        self._res_q.close()
+        self._ring.close()

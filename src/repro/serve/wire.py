@@ -22,6 +22,16 @@ Layout (offsets in float64 slots)::
 
 Decoding validates magic, version, and payload length, so a torn or
 misrouted buffer fails loudly instead of producing corrupt particles.
+
+Both messages can also be encoded *in place* into a caller-provided
+float64 view (:meth:`ServeRequest.encode_into` /
+:meth:`ServeResponse.encode_into`) — that is how the shared-memory
+transport writes requests and predictions directly into ring slots with no
+intermediate allocation; :func:`request_nfloats` / :func:`response_nfloats`
+size those slots.  A response for ``n`` particles always fits in the slot
+that carried the request for the same ``n`` (its header is smaller and the
+payload identical in shape), so a worker can overwrite a request with its
+prediction in place.
 """
 
 from __future__ import annotations
@@ -39,6 +49,16 @@ RESPONSE_MAGIC = float(0x53524553)
 
 _REQ_HEADER = 12
 _RES_HEADER = 6
+
+
+def request_nfloats(n_particles: int) -> int:
+    """Float64 slots one encoded request for ``n_particles`` occupies."""
+    return _REQ_HEADER + int(n_particles) * packed_width()
+
+
+def response_nfloats(n_particles: int) -> int:
+    """Float64 slots one encoded response for ``n_particles`` occupies."""
+    return _RES_HEADER + int(n_particles) * packed_width()
 
 
 @dataclass
@@ -70,22 +90,37 @@ class ServeRequest:
     def to_buffer(self) -> np.ndarray:
         if self.buffer is not None:
             return self.buffer
-        payload = self.region.pack()
-        n, w = payload.shape
-        buf = np.empty(_REQ_HEADER + n * w, dtype=np.float64)
-        buf[0] = REQUEST_MAGIC
-        buf[1] = WIRE_VERSION
-        buf[2] = self.event_id
-        buf[3] = self.base_seed
-        buf[4] = self.star_pid
-        buf[5] = self.dispatch_step
-        buf[6] = self.return_step
-        buf[7:10] = np.asarray(self.center, dtype=np.float64)
-        buf[10] = n
-        buf[11] = w
-        buf[_REQ_HEADER:] = payload.ravel()
+        buf = np.empty(request_nfloats(len(self.region)), dtype=np.float64)
+        self.encode_into(buf)
         self.buffer = buf
         return buf
+
+    def encode_into(self, out: np.ndarray) -> int:
+        """Write the wire encoding into ``out`` (e.g. a shared-memory slot).
+
+        Returns the number of float64 entries used; raises when ``out`` is
+        too small.  The cached :attr:`buffer` is *not* set — an external
+        view must never be aliased past the caller's control.
+        """
+        payload = self.region.pack()
+        n, w = payload.shape
+        total = _REQ_HEADER + n * w
+        if out.size < total:
+            raise ValueError(
+                f"serve request needs {total} float64 slots, target has {out.size}"
+            )
+        out[0] = REQUEST_MAGIC
+        out[1] = WIRE_VERSION
+        out[2] = self.event_id
+        out[3] = self.base_seed
+        out[4] = self.star_pid
+        out[5] = self.dispatch_step
+        out[6] = self.return_step
+        out[7:10] = np.asarray(self.center, dtype=np.float64)
+        out[10] = n
+        out[11] = w
+        out[_REQ_HEADER:total] = payload.ravel()
+        return total
 
     @classmethod
     def from_buffer(cls, buf: np.ndarray) -> "ServeRequest":
@@ -119,18 +154,29 @@ class ServeResponse:
     def to_buffer(self) -> np.ndarray:
         if self.buffer is not None:
             return self.buffer
-        payload = self.particles.pack()
-        n, w = payload.shape
-        buf = np.empty(_RES_HEADER + n * w, dtype=np.float64)
-        buf[0] = RESPONSE_MAGIC
-        buf[1] = WIRE_VERSION
-        buf[2] = self.event_id
-        buf[3] = self.return_step
-        buf[4] = n
-        buf[5] = w
-        buf[_RES_HEADER:] = payload.ravel()
+        buf = np.empty(response_nfloats(len(self.particles)), dtype=np.float64)
+        self.encode_into(buf)
         self.buffer = buf
         return buf
+
+    def encode_into(self, out: np.ndarray) -> int:
+        """Write the wire encoding into ``out`` (see :meth:`ServeRequest
+        .encode_into`); a shm worker overwrites the request slot with this."""
+        payload = self.particles.pack()
+        n, w = payload.shape
+        total = _RES_HEADER + n * w
+        if out.size < total:
+            raise ValueError(
+                f"serve response needs {total} float64 slots, target has {out.size}"
+            )
+        out[0] = RESPONSE_MAGIC
+        out[1] = WIRE_VERSION
+        out[2] = self.event_id
+        out[3] = self.return_step
+        out[4] = n
+        out[5] = w
+        out[_RES_HEADER:total] = payload.ravel()
+        return total
 
     @classmethod
     def from_buffer(cls, buf: np.ndarray) -> "ServeResponse":

@@ -127,22 +127,42 @@ def voxelize_particles(
     for f in range(4):
         acc[f][covered] /= wsum[covered]
 
-    # Fill uncovered voxels from their nearest particle (rare: only when
-    # the region is locally empty of kernels).
+    # Fill uncovered voxels from their nearest particle.  At production
+    # grids (64^3) a sparsely-sampled region can leave most of the 262k
+    # voxels uncovered, so this must not materialize the (n_holes,
+    # n_particles) distance matrix — a KD-tree query is O((n+m) log n) and
+    # byte-for-byte tiny, with a chunked brute-force fallback when scipy is
+    # unavailable.
     if not covered.all():
         g = (np.arange(n) + 0.5) * cell - side / 2.0
         xx, yy, zz = np.meshgrid(g, g, g, indexing="ij")
         holes = np.flatnonzero(~covered.ravel())
         hx = np.column_stack([xx.ravel()[holes], yy.ravel()[holes], zz.ravel()[holes]])
         if len(pos):
-            # Nearest particle by brute force over holes (holes are few).
-            d2 = ((hx[:, None, :] + center[None, None, :] - pos[None, :, :]) ** 2).sum(axis=2)
-            nearest = d2.argmin(axis=1)
+            nearest = _nearest_particle(hx + center[None, :], pos)
             for f, vals in enumerate(values):
                 acc[f].ravel()[holes] = vals[nearest]
 
     fields = np.concatenate([rho[None], acc], axis=0)
     return VoxelGrid(fields=fields, center=center, side=float(side))
+
+
+def _nearest_particle(points: np.ndarray, pos: np.ndarray) -> np.ndarray:
+    """Index of the particle nearest each query point."""
+    try:
+        from scipy.spatial import cKDTree
+    except ImportError:
+        # Chunked brute force: bounded temporaries instead of one
+        # (n_points, n_particles) matrix.
+        out = np.empty(len(points), dtype=np.int64)
+        chunk = max(1, int(4e6) // max(len(pos), 1))
+        for lo in range(0, len(points), chunk):
+            d2 = (
+                (points[lo:lo + chunk, None, :] - pos[None, :, :]) ** 2
+            ).sum(axis=2)
+            out[lo:lo + chunk] = d2.argmin(axis=1)
+        return out
+    return cKDTree(pos).query(points, workers=-1)[1]
 
 
 def extract_region(

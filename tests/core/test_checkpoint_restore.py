@@ -143,3 +143,33 @@ def test_restore_without_force_arrays_recomputes(tmp_path):
     back = GalaxySimulation.restore(path)
     assert not back.integrator._first_forces_done
     back.run(1)  # must not raise
+
+
+def test_checkpoint_carries_model_spec_for_exported_surrogate(tmp_path):
+    """A trained-export surrogate now survives save/restore via its spec."""
+    from repro.ml.serialize import save_model
+    from repro.ml.unet import UNet3D
+
+    net = UNet3D(in_channels=8, out_channels=5, base_channels=2, depth=1, seed=0)
+    export = save_model(net, tmp_path / "ckpt_unet")
+    sim = _sim(_ic(with_star=False), surrogate_model_path=export)
+    sim.run(2)
+    path = tmp_path / "ckpt_model.npz"
+    sim.save(path)
+    sim.close()
+
+    _, header = load_simulation_state(path)
+    spec_meta = header["extra"]["surrogate_spec"]
+    assert spec_meta is not None
+    assert spec_meta["kind"] == "model"
+    assert spec_meta["model_path"] == str(export)
+
+    restored = GalaxySimulation.restore(path)
+    try:
+        surr = restored.pool.server.local_surrogate
+        assert surr.predictor is not None
+        assert surr.predictor.model_path == str(export)
+        x = np.random.default_rng(0).normal(size=(8, 8, 8, 8))
+        assert np.array_equal(surr.predictor(x), net.forward(x))
+    finally:
+        restored.close()

@@ -157,3 +157,65 @@ def test_evaluate_model(tiny_unet):
     ys = [rng.normal(size=(1, 8, 8, 8)) for _ in range(3)]
     val = evaluate_model(tiny_unet, xs, ys)
     assert val > 0
+
+
+def test_save_load_roundtrip_without_npz_suffix(tmp_path, tiny_unet):
+    """np.savez appends .npz; both directions must normalize identically."""
+    rng = np.random.default_rng(11)
+    x = rng.normal(size=(2, 8, 8, 8))
+    ref = tiny_unet.forward(x)
+    bare = tmp_path / "model"              # no suffix
+    written = save_model(tiny_unet, bare)
+    assert written == tmp_path / "model.npz"
+    assert written.exists()
+    # load through the bare path, the normalized path, and an engine
+    assert np.allclose(load_model(bare).forward(x), ref)
+    assert np.allclose(load_model(written).forward(x), ref)
+    engine = InferenceEngine.load(bare)
+    assert np.allclose(engine(x), ref)
+    assert engine.model_path == str(written)
+
+
+def test_save_model_keeps_explicit_npz_suffix(tmp_path, tiny_unet):
+    path = tmp_path / "model.npz"
+    assert save_model(tiny_unet, path) == path
+    assert path.exists()
+    assert not (tmp_path / "model.npz.npz").exists()
+
+
+def test_inference_engine_model_path_none_in_memory(tiny_unet):
+    assert InferenceEngine(tiny_unet).model_path is None
+
+
+def test_early_stop_restores_best_weights():
+    """After a plateau stop the model must hold its best-val snapshot."""
+    net = UNet3D(in_channels=1, out_channels=1, base_channels=2, depth=1, seed=6)
+    rng = np.random.default_rng(6)
+    xs = [rng.normal(size=(1, 4, 4, 4)) for _ in range(8)]
+    ys = [rng.normal(size=(1, 4, 4, 4)) for _ in range(8)]
+    # An absurd learning rate makes later epochs strictly worse, so the
+    # last-epoch weights and the best-epoch weights genuinely differ.
+    hist = train_model(net, xs, ys, epochs=40, lr=0.5, patience=3, seed=3)
+    assert len(hist.val) < 40                       # early stop fired
+    assert hist.val[-1] > hist.best_val             # last epoch was worse
+    # The restored weights reproduce exactly the recorded best val loss.
+    val_idx = np.random.default_rng(3).permutation(8)[: int(round(0.2 * 8))]
+    restored_val = float(
+        np.mean([mse_loss(net.forward(xs[i]), ys[i]) for i in val_idx])
+    )
+    assert restored_val == hist.best_val
+
+
+def test_patience_without_early_stop_still_restores_best():
+    """Even when the plateau never fires, the kept model is the best one."""
+    net = UNet3D(1, 1, base_channels=2, depth=1, seed=8)
+    rng = np.random.default_rng(8)
+    xs = [rng.normal(size=(1, 4, 4, 4)) for _ in range(8)]
+    ys = [rng.normal(size=(1, 4, 4, 4)) for _ in range(8)]
+    hist = train_model(net, xs, ys, epochs=6, lr=0.5, seed=2, patience=100)
+    assert len(hist.val) == 6                       # ran to the end
+    val_idx = np.random.default_rng(2).permutation(8)[: int(round(0.2 * 8))]
+    restored_val = float(
+        np.mean([mse_loss(net.forward(xs[i]), ys[i]) for i in val_idx])
+    )
+    assert restored_val == hist.best_val

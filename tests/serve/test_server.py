@@ -1,5 +1,7 @@
 """SurrogateServer: transport parity, deadlines, metrics, lifecycle."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -12,6 +14,12 @@ from repro.sn.turbulence import make_turbulent_box
 from repro.surrogate.model import SedovBlastOracle, SNSurrogate
 
 N_WORKERS = 2  # the CI serve leg runs these tests with two worker processes
+#: Worker transport the single-transport lifecycle tests run under; the CI
+#: serve leg re-runs this module with REPRO_SERVE_TRANSPORT=shm so the same
+#: matrix exercises the shared-memory path.
+WORKER_TRANSPORT = os.environ.get("REPRO_SERVE_TRANSPORT", "process")
+#: Both worker transports, for the explicit parity matrix.
+WORKER_TRANSPORTS = ("process", "shm")
 
 
 def _region(n=40, seed=0):
@@ -48,7 +56,8 @@ def test_sync_collect_respects_return_step():
         assert srv.n_outstanding == 0
 
 
-def test_process_transport_bit_identical_to_sync():
+@pytest.mark.parametrize("transport", WORKER_TRANSPORTS)
+def test_worker_transport_bit_identical_to_sync(transport):
     """The acceptance criterion: >= 2 workers, identical bytes out."""
     reference = {}
     with SurrogateServer(surrogate=_surr(), transport="sync", max_batch=2) as srv:
@@ -57,7 +66,7 @@ def test_process_transport_bit_identical_to_sync():
         for res in srv.collect(5):
             reference[res.event_id] = res.particles
     with SurrogateServer(
-        surrogate=_surr(), transport="process", n_workers=N_WORKERS, max_batch=2
+        surrogate=_surr(), transport=transport, n_workers=N_WORKERS, max_batch=2
     ) as srv:
         for k in range(5):
             _submit(srv, k)
@@ -72,7 +81,7 @@ def test_process_transport_bit_identical_to_sync():
 
 def test_process_spec_built_in_worker():
     spec = SurrogateSpec(kind="oracle", n_grid=8, side=60.0, t_after=0.1)
-    with SurrogateServer(spec=spec, transport="process", n_workers=1) as srv:
+    with SurrogateServer(spec=spec, transport=WORKER_TRANSPORT, n_workers=1) as srv:
         _submit(srv, 3)
         [res] = srv.collect(5)
     with SurrogateServer(surrogate=_surr(), transport="sync") as sync:
@@ -90,9 +99,105 @@ def test_spec_from_surrogate_roundtrip():
         SurrogateSpec.from_surrogate(SNSurrogate(predictor=lambda x: x, n_grid=8))
 
 
+def _trained_model_path(tmp_path):
+    """A quickly-trained, exported U-Net on the test grid."""
+    from repro.ml.serialize import save_model
+    from repro.ml.train import train_model
+    from repro.ml.unet import UNet3D
+    from repro.surrogate.training_data import build_dataset
+
+    ds = build_dataset(4, base_seed=0, n_grid=8, n_per_side=8)
+    net = UNet3D(in_channels=8, out_channels=5, base_channels=2, depth=1, seed=0)
+    train_model(net, ds.inputs, ds.targets, epochs=2, lr=1e-3, val_fraction=0.25,
+                seed=0)
+    return save_model(net, tmp_path / "unet_export")
+
+
+def test_spec_from_surrogate_derives_model_kind(tmp_path):
+    """A predictor that remembers its export path yields a model spec."""
+    from repro.ml.serialize import InferenceEngine
+
+    path = _trained_model_path(tmp_path)
+    engine = InferenceEngine.load(path)
+    surr = SNSurrogate(predictor=engine, n_grid=8, side=60.0, gibbs_sweeps=4)
+    spec = SurrogateSpec.from_surrogate(surr)
+    assert spec.kind == "model"
+    assert spec.model_path == str(path)
+    assert spec.n_grid == 8 and spec.gibbs_sweeps == 4
+    built = spec.build()
+    x = np.random.default_rng(0).normal(size=(8, 8, 8, 8))
+    assert np.array_equal(built.predictor(x), engine(x))
+
+
+def test_spec_captures_custom_transform(tmp_path):
+    """A non-default FieldTransform must survive the spec round trip."""
+    from repro.ml.serialize import InferenceEngine
+    from repro.surrogate.transforms import FieldTransform
+
+    path = _trained_model_path(tmp_path)
+    custom = FieldTransform(v_scale=5.0, rho_floor=1e-6)
+    surr = SNSurrogate(
+        predictor=InferenceEngine.load(path), n_grid=8, side=60.0,
+        transform=custom,
+    )
+    spec = SurrogateSpec.from_surrogate(surr)
+    assert spec.transform is not None
+    built = spec.build()
+    assert built.transform == custom
+    # Default transforms stay implicit (old specs keep working).
+    assert SurrogateSpec.from_surrogate(_surr()).transform is None
+    # And the worker transport serves the custom transform bit-identically.
+    with SurrogateServer(surrogate=surr, transport="sync") as srv:
+        _submit(srv, 0)
+        [ref] = srv.collect(5)
+    with SurrogateServer(
+        surrogate=surr, transport=WORKER_TRANSPORT, n_workers=1
+    ) as srv:
+        _submit(srv, 0)
+        [res] = srv.collect(5)
+    for name, arr in ref.particles.data.items():
+        assert np.array_equal(res.particles.data[name], arr), name
+
+    class _Opaque:
+        def encode(self, fields):
+            raise NotImplementedError
+
+    with pytest.raises(ValueError):
+        SurrogateSpec.from_surrogate(
+            SNSurrogate(predictor=InferenceEngine.load(path), n_grid=8,
+                        transform=_Opaque())
+        )
+
+
+def test_trained_model_bit_identical_across_all_transports(tmp_path):
+    """train -> save_model -> spec(kind='model') -> identical predictions."""
+    spec = SurrogateSpec(
+        kind="model", model_path=str(_trained_model_path(tmp_path)),
+        n_grid=8, side=60.0,
+    )
+    results = {}
+    for transport in ("sync",) + WORKER_TRANSPORTS:
+        with SurrogateServer(
+            spec=spec, transport=transport, n_workers=N_WORKERS, max_batch=2
+        ) as srv:
+            for k in range(4):
+                _submit(srv, k)
+            results[transport] = {
+                res.event_id: res.particles for res in srv.collect(5)
+            }
+            assert len(results[transport]) == 4
+    for transport in WORKER_TRANSPORTS:
+        for eid, ref in results["sync"].items():
+            for name, arr in ref.data.items():
+                assert np.array_equal(
+                    results[transport][eid].data[name], arr
+                ), (transport, name)
+
+
 def test_collect_all_drains_outstanding():
     with SurrogateServer(
-        surrogate=_surr(), transport="process", n_workers=N_WORKERS, max_batch=8
+        surrogate=_surr(), transport=WORKER_TRANSPORT, n_workers=N_WORKERS,
+        max_batch=8,
     ) as srv:
         for k in range(3):
             _submit(srv, k, return_step=100)
@@ -128,7 +233,7 @@ def test_serve_summary_prices_sync_as_fully_exposed():
 
 def test_serve_summary_prices_overlap():
     with SurrogateServer(
-        surrogate=_surr(), transport="process", n_workers=N_WORKERS
+        surrogate=_surr(), transport=WORKER_TRANSPORT, n_workers=N_WORKERS
     ) as srv:
         for k in range(4):
             _submit(srv, k, return_step=5)
@@ -143,7 +248,7 @@ def test_serve_summary_prices_overlap():
 
 
 def test_close_is_idempotent():
-    srv = SurrogateServer(surrogate=_surr(), transport="process", n_workers=1)
+    srv = SurrogateServer(surrogate=_surr(), transport=WORKER_TRANSPORT, n_workers=1)
     _submit(srv, 0)
     srv.collect(5)
     srv.close()
@@ -157,8 +262,9 @@ def test_requires_surrogate_or_spec():
         SurrogateServer(surrogate=_surr(), transport="smoke-signals")
 
 
-def test_simulation_process_transport_bit_identical_to_sync():
-    """End-to-end: a run with SN events, sync vs process transport."""
+@pytest.mark.parametrize("transport", WORKER_TRANSPORTS)
+def test_simulation_worker_transport_bit_identical_to_sync(transport):
+    """End-to-end: a run with SN events, sync vs each worker transport."""
 
     def _run(transport):
         box = make_turbulent_box(n_per_side=6, side=60.0, mean_density=0.05,
@@ -187,6 +293,6 @@ def test_simulation_process_transport_bit_identical_to_sync():
             sim.close()
 
     ps_sync = _run("sync")
-    ps_proc = _run("process")
+    ps_proc = _run(transport)
     for name, arr in ps_sync.data.items():
         assert np.array_equal(ps_proc.data[name], arr), name

@@ -113,3 +113,47 @@ def test_request_rng_matches_event_rng():
     assert np.array_equal(
         req.rng().uniform(size=3), event_rng(3, 123, 10).uniform(size=3)
     )
+
+
+# ------------------------------------------------------------ in-place encode
+def test_request_encode_into_matches_to_buffer():
+    from repro.serve.wire import request_nfloats
+
+    req = _request(n=20)
+    slot = np.full(request_nfloats(20) + 10, np.nan)
+    used = req.encode_into(slot)
+    assert used == request_nfloats(20)
+    assert slot[0] == REQUEST_MAGIC
+    assert np.array_equal(slot[:used], req.to_buffer())
+    # encode_into never caches the external view
+    assert req.to_buffer() is not slot
+
+
+def test_response_encode_into_matches_to_buffer():
+    from repro.serve.wire import response_nfloats
+
+    res = ServeResponse(event_id=1, return_step=9, particles=_region(n=12))
+    slot = np.zeros(response_nfloats(12))
+    used = res.encode_into(slot)
+    assert used == response_nfloats(12)
+    assert np.array_equal(slot[:used], res.to_buffer())
+    decoded = ServeResponse.from_buffer(slot[:used])
+    assert decoded.event_id == 1
+    assert len(decoded.particles) == 12
+
+
+def test_encode_into_rejects_small_target():
+    req = _request(n=20)
+    with pytest.raises(ValueError):
+        req.encode_into(np.zeros(8))
+    res = ServeResponse(event_id=1, return_step=9, particles=_region(n=12))
+    with pytest.raises(ValueError):
+        res.encode_into(np.zeros(8))
+
+
+def test_response_fits_in_request_slot():
+    """The in-place overwrite contract: response(n) <= request(n) always."""
+    from repro.serve.wire import request_nfloats, response_nfloats
+
+    for n in (0, 1, 20, 4096):
+        assert response_nfloats(n) <= request_nfloats(n)
