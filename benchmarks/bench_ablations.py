@@ -88,7 +88,7 @@ def test_ablation_mixed_precision(benchmark, write_result):
         "ablation_mixed_precision",
         fmt_table(["offset [pc]", "relative-f32 err", "naive-f32 err"], rows),
     )
-    for offset, err_mixed, err_naive in rows:
+    for _offset, err_mixed, _err_naive in rows:
         assert err_mixed < 1e-3  # group-relative f32 never degrades
     # Far from the origin the naive cast is catastrophically worse.
     assert rows[-1][2] > 100 * rows[-1][1]

@@ -178,7 +178,7 @@ def test_backend_kernels(benchmark, results_dir, write_result):
     assert whole[ACCEPT_SIZE]["numpy"]["speedup_vs_seed"] >= 1.1
     if HAVE_NUMBA:
         assert whole[ACCEPT_SIZE]["numba"]["speedup_vs_seed"] >= 3.0
-    for kname, per_bk in kernels.items():
-        for bk, per_size in per_bk.items():
+    for per_bk in kernels.values():
+        for per_size in per_bk.values():
             for cell in per_size.values():
                 assert cell["interactions"] > 0

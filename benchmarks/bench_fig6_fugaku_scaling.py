@@ -30,10 +30,9 @@ def _table(points):
     rows = []
     for p in points:
         rows.append(
-            [p.n_nodes, p.n_particles, p.total_seconds]
-            + [p.breakdown[k] for k in PARTS]
+            [p.n_nodes, p.n_particles, p.total_seconds, *(p.breakdown[k] for k in PARTS)]
         )
-    return fmt_table(["nodes", "N", "total[s]"] + PARTS, rows)
+    return fmt_table(["nodes", "N", "total[s]", *PARTS], rows)
 
 
 def test_fig6_weak_scaling(benchmark, write_result):

@@ -23,11 +23,10 @@ PARTS = [
 
 def _table(points):
     rows = [
-        [p.n_nodes, p.n_particles, p.total_seconds]
-        + [p.breakdown[k] for k in PARTS]
+        [p.n_nodes, p.n_particles, p.total_seconds, *(p.breakdown[k] for k in PARTS)]
         for p in points
     ]
-    return fmt_table(["nodes", "N", "total[s]"] + PARTS, rows)
+    return fmt_table(["nodes", "N", "total[s]", *PARTS], rows)
 
 
 def test_fig7_weak_scaling(benchmark, write_result):

@@ -78,9 +78,9 @@ def _worker_scaling(n_regions):
     """End-to-end server regions/s (submit -> collect_all) vs workers."""
     spec = SurrogateSpec(kind="oracle", n_grid=12, side=60.0, t_after=0.1)
     out = {}
-    for label, kwargs in [("sync", dict(transport="sync"))] + [
-        (f"process-{w}", dict(transport="process", n_workers=w))
-        for w in WORKER_COUNTS
+    for label, kwargs in [
+        ("sync", dict(transport="sync")),
+        *((f"process-{w}", dict(transport="process", n_workers=w)) for w in WORKER_COUNTS),
     ]:
         with SurrogateServer(spec=spec, max_batch=4, **kwargs) as srv:
             t0 = time.perf_counter()

@@ -22,7 +22,7 @@ def _fugaku_anchor():
 def test_table3_fugaku(benchmark, write_result):
     model, cfg, bd = benchmark.pedantic(_fugaku_anchor, rounds=1, iterations=1)
     rows = []
-    for key, (paper_t, paper_f) in PAPER_TABLE3.items():
+    for key, (paper_t, _paper_f) in PAPER_TABLE3.items():
         if key == "total":
             continue
         rows.append([key, bd[key], paper_t, bd[key] / paper_t])

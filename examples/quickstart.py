@@ -22,7 +22,7 @@ def main() -> None:
     sim = GalaxySimulation(ps, dt=2e-3, n_pool=5, surrogate_grid=8, seed=0)
     sim.integrator.cfg.direct_gravity_below = 5000  # small N: direct sum
 
-    for step in range(5):
+    for _step in range(5):
         sim.run(1)
         d = sim.diagnostics()
         print(

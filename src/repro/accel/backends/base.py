@@ -33,9 +33,15 @@ back to ``numpy`` with a logged warning.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.util.constants import GRAV_CONST
+
+if TYPE_CHECKING:  # import only for annotations: backends stay leaf modules
+    from repro.sph.kernels import SPHKernel
+    from repro.sph.neighbors import NeighborGrid
 
 
 class BackendUnavailable(RuntimeError):
@@ -95,7 +101,9 @@ class KernelBackend:
         raise NotImplementedError
 
     # ------------------------------------------------------------- density
-    def density_gather(self, grid, pos: np.ndarray, kernel) -> DensityGatherState:
+    def density_gather(
+        self, grid: NeighborGrid, pos: np.ndarray, kernel: SPHKernel
+    ) -> DensityGatherState:
         """Per-solve gather state over one built neighbor grid.
 
         ``grid`` covers exactly ``pos`` and every search radius the solve
@@ -117,8 +125,8 @@ class KernelBackend:
         balsara: np.ndarray | None,
         alpha_visc: float,
         beta_visc: float,
-        kernel,
-        grid=None,
+        kernel: SPHKernel,
+        grid: NeighborGrid | None = None,
         pairs: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, tuple[np.ndarray, np.ndarray, np.ndarray]]:
         """Half-pair hydro kernel -> (acc, du_dt, v_signal, pairs).

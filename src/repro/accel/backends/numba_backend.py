@@ -26,7 +26,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.accel.backends.base import BackendUnavailable, DensityGatherState
-from repro.accel.backends.numpy_backend import NumpyBackend
+from repro.accel.backends.numpy_backend import (  # repro-lint: disable=backend-purity -- numpy is the always-available reference backend; numba subclasses it to inherit the fallback paths
+    NumpyBackend,
+)
 from repro.sph.kernels import CubicSpline
 from repro.sph.neighbors import NeighborGrid
 from repro.util.constants import GRAV_CONST

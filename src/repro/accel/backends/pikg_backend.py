@@ -23,7 +23,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.accel.backends.numpy_backend import NumpyBackend, _NumpyDensityGather
+from repro.accel.backends.numpy_backend import (  # repro-lint: disable=backend-purity -- numpy is the always-available reference backend; the PIKG backend falls back to it when numba is absent
+    NumpyBackend,
+    _NumpyDensityGather,
+)
 from repro.pikg.codegen import generate_numba_kernel
 from repro.pikg.dsl import CUBIC_DENSITY_DSL, GRAVITY_DSL, parse_kernel
 from repro.sph.kernels import CubicSpline

@@ -176,11 +176,11 @@ class ConcatStratifiedSampler:
     def stratified_sample(self, n_sample: int, n_total: int) -> np.ndarray | None:
         if sum(self.counts) != n_total or n_sample >= n_total:
             return None
-        if any(o is None for o, c in zip(self.orders, self.counts) if c > 0):
+        if any(o is None for o, c in zip(self.orders, self.counts, strict=True) if c > 0):
             return None
         offsets = np.concatenate([[0], np.cumsum(self.counts)])[:-1]
         chained = np.concatenate(
-            [off + o for off, o, c in zip(offsets, self.orders, self.counts) if c > 0]
+            [off + o for off, o, c in zip(offsets, self.orders, self.counts, strict=True) if c > 0]
         )
         return chained[_even_picks(n_total, n_sample)]
 

@@ -35,8 +35,11 @@ def column_density_map(
     pix = 2.0 * extent / n_pix
     ia = np.clip(((a[inside] + extent) / pix).astype(np.int64), 0, n_pix - 1)
     ib = np.clip(((b[inside] + extent) / pix).astype(np.int64), 0, n_pix - 1)
-    grid = np.zeros((n_pix, n_pix))
-    np.add.at(grid, (ia, ib), mass[inside])
+    # bincount reduction — same per-pixel accumulation order as the
+    # np.add.at scatter it replaces, so the deposit is bit-identical.
+    grid = np.bincount(
+        ia * n_pix + ib, weights=mass[inside], minlength=n_pix * n_pix
+    ).reshape(n_pix, n_pix)
     return grid / pix**2
 
 

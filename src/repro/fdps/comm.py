@@ -80,7 +80,7 @@ class TorusTopology:
         """Minimal torus (wrap-around Manhattan) distance between two ranks."""
         ca, cb = self.coords(a), self.coords(b)
         total = 0
-        for d, q in zip((0, 1, 2), self.dims):
+        for d, q in zip((0, 1, 2), self.dims, strict=True):
             diff = abs(ca[d] - cb[d])
             total += min(diff, q - diff)
         return total
@@ -299,8 +299,17 @@ class SubComm:
     def local_rank(self, world: int) -> int:
         return self.members.index(world)
 
-    def send(self, src_local: int, dst_local: int, arr: np.ndarray, tag: int = 0) -> None:
-        self.world.send(self.members[src_local], self.members[dst_local], arr, tag)
+    def send(
+        self,
+        src_local: int,
+        dst_local: int,
+        arr: np.ndarray,
+        tag: int = 0,
+        label: str = "p2p",
+    ) -> None:
+        self.world.send(
+            self.members[src_local], self.members[dst_local], arr, tag, label=label
+        )
 
     def recv(self, dst_local: int, src_local: int | None = None, tag: int | None = None):
         src = None if src_local is None else self.members[src_local]

@@ -269,7 +269,7 @@ class DistributedGravity:
         )
         surcharge = hydro_gravity_work_ratio() * max(global_mean, 1.0)
         out: list[np.ndarray] = []
-        for ps, w in zip(locals_, grav):
+        for ps, w in zip(locals_, grav, strict=True):
             gas = ps.where_type(ParticleType.GAS)
             if gas.any():
                 w[gas] += surcharge
@@ -304,7 +304,7 @@ class DistributedGravity:
             self.indices[rank].cached_order(len(ps))
             for rank, ps in enumerate(locals_)
         ]
-        for rank, (ps, acc) in enumerate(zip(locals_, accs)):
+        for rank, (ps, acc) in enumerate(zip(locals_, accs, strict=True)):
             if len(ps):
                 ps.vel += 0.5 * dt * acc
                 ps.pos += dt * ps.vel
@@ -326,7 +326,7 @@ class DistributedGravity:
         )
         locals_ = self.exchange_particles(locals_, decomp)
         accs = self.forces(locals_, decomp)
-        for ps, acc in zip(locals_, accs):
+        for ps, acc in zip(locals_, accs, strict=True):
             if len(ps):
                 ps.vel += 0.5 * dt * acc
         return locals_, decomp, accs

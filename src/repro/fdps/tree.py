@@ -220,7 +220,7 @@ class Octree:
         compact — these are the interaction groups of the FDPS force loop.
         """
         n = self.n_particles
-        bounds = list(range(0, n, n_g)) + [n]
+        bounds = [*range(0, n, n_g), n]
         return [(bounds[i], bounds[i + 1]) for i in range(len(bounds) - 1)]
 
     def group_box(self, start: int, end: int) -> tuple[np.ndarray, np.ndarray]:

@@ -1,0 +1,84 @@
+"""The checker: walk files, run every applicable rule, apply suppressions."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.lint.base import ModuleContext
+from repro.lint.findings import Finding, sort_findings
+from repro.lint.registry import all_rules
+from repro.lint.suppressions import apply_suppressions, parse_suppressions
+
+import repro.lint.rules  # noqa: F401  (registers the builtin rules)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for a source file.
+
+    ``.../src/repro/serve/shm.py`` -> ``repro.serve.shm``;  a path with no
+    ``repro`` package root falls back to the stem (fixture files in tests
+    pass an explicit module instead).
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for anchor in ("repro",):
+        if anchor in parts:
+            return ".".join(parts[parts.index(anchor):])
+    return parts[-1] if parts else ""
+
+
+def lint_source(
+    source: str,
+    module: str,
+    path: str = "<string>",
+    select: list[str] | None = None,
+) -> list[Finding]:
+    """Lint one module's source text (the fixture-test entry point)."""
+    ctx = ModuleContext.parse(path=path, module=module, source=source)
+    raw: list[Finding] = []
+    active: set[str] = set()
+    for rule in all_rules(select):
+        if rule.applies_to(module):
+            active.add(rule.name)
+            raw.extend(rule.check(ctx))
+    return sort_findings(
+        apply_suppressions(raw, parse_suppressions(source), path, active_rules=active)
+    )
+
+
+def iter_python_files(paths: list[str]) -> list[Path]:
+    out: list[Path] = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            out.append(path)
+    return out
+
+
+def lint_paths(paths: list[str], select: list[str] | None = None) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths``; returns sorted findings."""
+    findings: list[Finding] = []
+    cwd = Path(os.getcwd())
+    for file in iter_python_files(paths):
+        try:
+            display = str(file.relative_to(cwd))
+        except ValueError:
+            display = str(file)
+        source = file.read_text()
+        try:
+            findings.extend(
+                lint_source(
+                    source, module_name_for(file), path=display, select=select
+                )
+            )
+        except SyntaxError as exc:
+            findings.append(Finding(
+                rule="parse-error", path=display,
+                line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+                message=f"could not parse: {exc.msg}",
+            ))
+    return sort_findings(findings)

@@ -1,0 +1,69 @@
+"""``python -m repro.lint`` — run the repo-invariant checker from CI/hooks.
+
+Exit status: 0 when the tree is clean, 1 when any finding (including an
+unused suppression) survives, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.lint.checker import lint_paths
+from repro.lint.registry import get_rule, registered_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based checker for this repo's determinism, ledger, "
+        "backend-purity and shm-lease invariants (see the repro.lint "
+        "package docstring for the rule catalog).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for name in registered_rules():
+            print(f"{name}: {get_rule(name).description}")
+        return 0
+    select = None
+    if args.select:
+        select = [s.strip() for s in args.select.split(",") if s.strip()]
+        unknown = [s for s in select if s not in registered_rules()]
+        if unknown:
+            print(f"unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    findings = lint_paths(args.paths, select=select)
+    if args.format == "json":
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f.render())
+        n = len(findings)
+        print(f"repro.lint: {n} finding{'s' if n != 1 else ''}"
+              if n else "repro.lint: clean")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

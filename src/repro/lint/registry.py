@@ -1,0 +1,40 @@
+"""Rule registry — the same register/get pattern as ``repro.accel.backends``.
+
+Rules register by name; instances are process-wide singletons (rules are
+stateless, all per-run state lives in the checker).  ``all_rules`` is what
+the checker iterates; ``--select`` on the CLI narrows it.
+"""
+
+from __future__ import annotations
+
+from repro.lint.base import Rule
+
+_FACTORIES: dict[str, type[Rule]] = {}
+_INSTANCES: dict[str, Rule] = {}
+
+
+def register_rule(factory: type[Rule], replace: bool = False) -> type[Rule]:
+    """Register a rule class under its ``name`` (usable as a decorator)."""
+    key = factory.name
+    if key in _FACTORIES and not replace:
+        raise ValueError(f"lint rule {key!r} is already registered")
+    _FACTORIES[key] = factory
+    _INSTANCES.pop(key, None)
+    return factory
+
+
+def registered_rules() -> list[str]:
+    return sorted(_FACTORIES)
+
+
+def get_rule(name: str) -> Rule:
+    if name not in _FACTORIES:
+        raise ValueError(f"unknown lint rule {name!r}; registered: {registered_rules()}")
+    if name not in _INSTANCES:
+        _INSTANCES[name] = _FACTORIES[name]()
+    return _INSTANCES[name]
+
+
+def all_rules(select: list[str] | None = None) -> list[Rule]:
+    names = registered_rules() if select is None else list(select)
+    return [get_rule(n) for n in names]

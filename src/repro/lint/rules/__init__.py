@@ -1,0 +1,10 @@
+"""Builtin rule modules — importing this package registers every rule."""
+
+from repro.lint.rules import (  # noqa: F401
+    determinism,
+    hotpath,
+    imports,
+    ledger,
+    leases,
+    wire,
+)

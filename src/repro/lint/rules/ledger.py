@@ -1,0 +1,54 @@
+"""Ledger rule: every comm-crossing call names its CommStats row.
+
+The :class:`repro.fdps.comm.SimComm` byte ledger is the input to the whole
+performance model (``perf.costmodel`` prices measured bytes on a machine
+network model) and to the cross-transport parity claims of PR 4/5 — the
+``pool_p2p`` row must contain exactly the serve wire bytes, the exchange
+rows exactly the packed-FIELDS payloads.  An unlabeled ``send`` silently
+lands in the default ``"p2p"`` row, which *looks* fine until someone prices
+a breakdown and the rows don't add up.  This rule makes the label explicit
+at every call site, so a new transport or exchange path cannot forget to
+pick its row.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import ModuleContext, Rule
+from repro.lint.findings import Finding
+from repro.lint.registry import register_rule
+
+#: Methods that cross the simulated communicator and charge the ledger.
+COMM_METHODS = ("send", "alltoallv", "alltoallv_3d", "allgather", "allreduce_sum")
+
+
+@register_rule
+class LedgerLabelRule(Rule):
+    """R2: comm-crossing calls pass an explicit ``label=``."""
+
+    name = "ledger-label"
+    description = (
+        "SimComm send/collective call sites must pass label= so the byte "
+        "ledger row is chosen deliberately, never by default"
+    )
+    scope_prefixes = ("repro",)
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        out: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in COMM_METHODS:
+                continue
+            if any(kw.arg == "label" for kw in node.keywords):
+                continue
+            # Forwarding `label` positionally is not a thing in this repo's
+            # comm API (label is keyword-ish by convention); flag it.
+            out.append(ctx.finding(
+                node, self.name,
+                f"comm-crossing '.{func.attr}(...)' without an explicit "
+                "label=; the bytes land in the default ledger row",
+            ))
+        return out

@@ -1,0 +1,135 @@
+"""Wire symmetry: every encoder has a decoder and they agree on the header.
+
+The serve wire format (:mod:`repro.serve.wire`) is hand-rolled — a float64
+header whose slot offsets appear twice, once in ``encode_into`` and once in
+``from_buffer``.  Adding a header field to one side and not the other does
+not crash: the decoder happily reads a stale slot and every downstream
+value is silently wrong (the torn-buffer checks validate length and magic,
+not field order).  This rule diffs the two sides' header-slot sets
+statically:
+
+* a class with ``encode_into``/``to_buffer`` must define ``from_buffer``;
+* the constant indices/slices written to the output buffer in
+  ``encode_into`` must equal those read from the input buffer in
+  ``from_buffer`` — indices validated by a shared ``*check_header*`` helper
+  (magic + version, slots 0-1) count as read.
+
+Non-constant subscripts (the payload slice ``out[HEADER:total]``) are
+outside the header contract and ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import ModuleContext, Rule, dotted_name
+from repro.lint.findings import Finding
+from repro.lint.registry import register_rule
+
+#: Header slots a `*check_header*` helper validates (magic, version).
+CHECKED_BY_HELPER = {0, 1}
+
+
+def _const_indices(sub: ast.Subscript) -> set[int] | None:
+    """{indices} for a constant int subscript or constant slice, else None."""
+    s = sub.slice
+    if isinstance(s, ast.Constant) and isinstance(s.value, int):
+        return {s.value}
+    if isinstance(s, ast.Slice):
+        lo, hi = s.lower, s.upper
+        if (
+            isinstance(lo, ast.Constant) and isinstance(lo.value, int)
+            and isinstance(hi, ast.Constant) and isinstance(hi.value, int)
+        ):
+            return set(range(lo.value, hi.value))
+    return None
+
+
+def _buffer_param(fn: ast.FunctionDef) -> str | None:
+    """The buffer argument: first parameter that is not self/cls."""
+    for a in fn.args.posonlyargs + fn.args.args:
+        if a.arg not in ("self", "cls"):
+            return a.arg
+    return None
+
+
+def _header_slots(fn: ast.FunctionDef, buffer: str, stores: bool) -> set[int]:
+    want = ast.Store if stores else ast.Load
+    out: set[int] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.ctx, want)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == buffer
+        ):
+            idx = _const_indices(node)
+            if idx is not None:
+                out |= idx
+    return out
+
+
+def _calls_check_helper(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            chain = dotted_name(node.func)
+            if chain and "check_header" in chain.rsplit(".", 1)[-1]:
+                return True
+    return False
+
+
+@register_rule
+class WireSymmetryRule(Rule):
+    """R7: encode_into/from_buffer pairs exist and header slots agree."""
+
+    name = "wire-symmetry"
+    description = (
+        "every wire encoder class defines from_buffer, and the constant "
+        "header slots written by encode_into equal those read by from_buffer"
+    )
+    scope_prefixes = ("repro.serve",)
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        out: list[Finding] = []
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            methods = {
+                m.name: m for m in cls.body if isinstance(m, ast.FunctionDef)
+            }
+            is_encoder = "encode_into" in methods or "to_buffer" in methods
+            if not is_encoder:
+                continue
+            decoder = methods.get("from_buffer")
+            if decoder is None:
+                out.append(ctx.finding(
+                    cls, self.name,
+                    f"'{cls.name}' encodes to the wire but defines no "
+                    "from_buffer decoder; the format is write-only",
+                ))
+                continue
+            encoder = methods.get("encode_into")
+            if encoder is None:
+                continue  # to_buffer-only classes delegate; nothing to diff
+            enc_buf = _buffer_param(encoder)
+            dec_buf = _buffer_param(decoder)
+            if enc_buf is None or dec_buf is None:
+                continue
+            written = _header_slots(encoder, enc_buf, stores=True)
+            read = _header_slots(decoder, dec_buf, stores=False)
+            if _calls_check_helper(decoder):
+                read |= CHECKED_BY_HELPER
+            if written != read:
+                only_w = sorted(written - read)
+                only_r = sorted(read - written)
+                detail = []
+                if only_w:
+                    detail.append(f"written but never decoded: {only_w}")
+                if only_r:
+                    detail.append(f"decoded but never written: {only_r}")
+                out.append(ctx.finding(
+                    encoder, self.name,
+                    f"'{cls.name}' header slots disagree between encode_into "
+                    f"and from_buffer ({'; '.join(detail)})",
+                ))
+        return out

@@ -1,0 +1,100 @@
+"""Per-line ``# repro-lint: disable=<rule>[,<rule>...]`` suppressions.
+
+A suppression comment silences findings of the named rules *on its own
+line* (put it on the line the finding points at — for a multi-line
+statement that is the statement's first line).  ``disable=<all>`` (the
+literal word ``all``) silences every rule on that line.  Prose may follow
+the rule list after ``--``::
+
+    from x import y  # repro-lint: disable=<rule> -- reason it is intentional
+
+Suppressions that silence nothing are themselves reported (rule
+``unused-suppression``) so stale annotations cannot rot in the tree; that
+meta-finding is deliberately not suppressible.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+from repro.lint.findings import Finding
+
+UNUSED_RULE = "unused-suppression"
+
+_PATTERN = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+
+def _comment_tokens(source: str) -> list[tuple[int, str]]:
+    """(lineno, text) for every real COMMENT token.
+
+    Tokenizing (rather than regexing raw lines) is what keeps the syntax
+    *mentioned* in a docstring — like the examples in this module's own
+    docstring — from acting as a live suppression.
+    """
+    out: list[tuple[int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # unparseable tail: the checker reports the SyntaxError itself
+    return out
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number (1-based) -> set of suppressed rule names."""
+    out: dict[int, set[str]] = {}
+    for lineno, comment in _comment_tokens(source):
+        m = _PATTERN.search(comment)
+        if not m:
+            continue
+        spec = m.group(1).split("--")[0]  # cut trailing "-- reason" prose
+        rules = {tok.strip() for tok in spec.split(",")}
+        out[lineno] = {r for r in rules if r}
+    return out
+
+
+def apply_suppressions(
+    findings: list[Finding],
+    suppressions: dict[int, set[str]],
+    path: str,
+    active_rules: set[str] | None = None,
+) -> list[Finding]:
+    """Drop suppressed findings; report suppressions that matched nothing.
+
+    ``active_rules`` is the set of rule names that actually ran on this
+    module (None = everything ran).  A suppression naming a rule outside
+    that set is not reported unused — under ``--select`` or on a module a
+    rule doesn't apply to, it had no chance to match.
+    """
+    used: set[tuple[int, str]] = set()
+    kept: list[Finding] = []
+    for f in findings:
+        rules = suppressions.get(f.line, set())
+        if f.rule in rules:
+            used.add((f.line, f.rule))
+        elif "all" in rules:
+            used.add((f.line, "all"))
+        else:
+            kept.append(f)
+    for lineno, rules in sorted(suppressions.items()):
+        for rule in sorted(rules):
+            if (lineno, rule) in used:
+                continue
+            if active_rules is not None and rule != "all" and rule not in active_rules:
+                continue
+            kept.append(
+                Finding(
+                    rule=UNUSED_RULE,
+                    path=path,
+                    line=lineno,
+                    col=1,
+                    message=(
+                        f"suppression 'disable={rule}' silences nothing on "
+                        "this line; remove it"
+                    ),
+                )
+            )
+    return kept

@@ -105,4 +105,4 @@ def evaluate_model(
     model: Layer, inputs: list[np.ndarray], targets: list[np.ndarray]
 ) -> float:
     """Mean MSE of the model over a dataset."""
-    return float(np.mean([mse_loss(model.forward(x), y) for x, y in zip(inputs, targets)]))
+    return float(np.mean([mse_loss(model.forward(x), y) for x, y in zip(inputs, targets, strict=True)]))

@@ -100,13 +100,13 @@ class UNet3D(Layer):
         if any(s % 2**self.depth for s in x.shape[1:]):
             raise ValueError(f"spatial dims must be divisible by {2**self.depth}")
         skips: list[np.ndarray] = []
-        for enc, pool in zip(self.encoders, self.pools):
+        for enc, pool in zip(self.encoders, self.pools, strict=True):
             x = enc.forward(x)
             skips.append(x)
             x = pool.forward(x)
         x = self.bottleneck.forward(x)
         self._skip_channels = [s.shape[0] for s in skips]
-        for dec, up, skip in zip(self.decoders, self.ups, reversed(skips)):
+        for dec, up, skip in zip(self.decoders, self.ups, reversed(skips), strict=True):
             x = up.forward(x)
             x = np.concatenate([x, skip], axis=0)
             x = dec.forward(x)
@@ -126,12 +126,12 @@ class UNet3D(Layer):
         if any(s % 2**self.depth for s in x.shape[2:]):
             raise ValueError(f"spatial dims must be divisible by {2**self.depth}")
         skips: list[np.ndarray] = []
-        for enc, pool in zip(self.encoders, self.pools):
+        for enc, pool in zip(self.encoders, self.pools, strict=True):
             x = enc.forward_batch(x)
             skips.append(x)
             x = pool.forward_batch(x)
         x = self.bottleneck.forward_batch(x)
-        for dec, up, skip in zip(self.decoders, self.ups, reversed(skips)):
+        for dec, up, skip in zip(self.decoders, self.ups, reversed(skips), strict=True):
             x = up.forward_batch(x)
             x = np.concatenate([x, skip], axis=1)
             x = dec.forward_batch(x)
@@ -142,7 +142,7 @@ class UNet3D(Layer):
         skip_grads: list[np.ndarray] = []
         for dec, up, c_skip in zip(
             self.decoders, self.ups, reversed(self._skip_channels)
-        ):
+        , strict=True):
             grad = dec.backward(grad)
             c_up = grad.shape[0] - c_skip
             skip_grads.append(grad[c_up:])
@@ -150,7 +150,7 @@ class UNet3D(Layer):
         grad = self.bottleneck.backward(grad)
         for enc, pool, sg in zip(
             reversed(self.encoders), reversed(self.pools), skip_grads
-        ):
+        , strict=True):
             grad = pool.backward(grad)
             grad = enc.backward(grad + sg)
         return grad

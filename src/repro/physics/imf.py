@@ -29,17 +29,17 @@ class PiecewisePowerLawIMF:
     def __init__(self, segments: list[PowerLawSegment]) -> None:
         if not segments:
             raise ValueError("need at least one segment")
-        for a, b in zip(segments, segments[1:]):
+        for a, b in zip(segments, segments[1:], strict=False):
             if not np.isclose(a.m_hi, b.m_lo):
                 raise ValueError("segments must be contiguous")
         self.segments = segments
         # Continuity coefficients: amplitude of each segment so dN/dm is
         # continuous across breaks, then global normalization to unit number.
         coeff = [1.0]
-        for a, b in zip(segments, segments[1:]):
+        for a, b in zip(segments, segments[1:], strict=False):
             coeff.append(coeff[-1] * a.m_hi ** (-a.alpha) / a.m_hi ** (-b.alpha))
         numbers = np.array(
-            [c * self._seg_number(s) for c, s in zip(coeff, self.segments)]
+            [c * self._seg_number(s) for c, s in zip(coeff, self.segments, strict=True)]
         )
         total = numbers.sum()
         self.coeff = np.asarray(coeff) / total
@@ -71,13 +71,13 @@ class PiecewisePowerLawIMF:
 
     def mean_mass(self) -> float:
         """<m> = int m dN / int dN."""
-        num = sum(c * self._seg_mass(s) for c, s in zip(self.coeff, self.segments))
+        num = sum(c * self._seg_mass(s) for c, s in zip(self.coeff, self.segments, strict=True))
         return float(num)  # coeff already normalized to unit number
 
     def number_fraction_above(self, m: float) -> float:
         """Fraction of stars with mass > m."""
         frac = 0.0
-        for c, s in zip(self.coeff, self.segments):
+        for c, s in zip(self.coeff, self.segments, strict=True):
             lo = max(s.m_lo, m)
             if lo >= s.m_hi:
                 continue
@@ -87,7 +87,7 @@ class PiecewisePowerLawIMF:
     def mass_fraction_above(self, m: float) -> float:
         """Fraction of total stellar mass in stars with mass > m."""
         num = 0.0
-        for c, s in zip(self.coeff, self.segments):
+        for c, s in zip(self.coeff, self.segments, strict=True):
             lo = max(s.m_lo, m)
             if lo >= s.m_hi:
                 continue

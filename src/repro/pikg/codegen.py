@@ -68,7 +68,7 @@ _SCALAR_INTRINSICS = {
     "_min": min,
     "_max": max,
     "_abs": abs,
-    "_dot": lambda a, b: sum(x * y for x, y in zip(a, b)),
+    "_dot": lambda a, b: sum(x * y for x, y in zip(a, b, strict=True)),
 }
 
 
@@ -139,11 +139,11 @@ def generate_scalar_kernel(spec: KernelSpec):
         shape = "(_ni, 3)" if width == 3 else "(_ni,)"
         lines.append(f"    {name}_out = np.zeros({shape})")
     lines.append("    for _i in range(_ni):")
-    for name, width in spec.i_vars.items():
+    for name in spec.i_vars:
         conv = "np.asarray(i_arrays['%s'][_i], dtype=np.float64)" % name
         lines.append(f"        {name} = {conv}")
     lines.append("        for _j in range(_nj):")
-    for name, width in spec.j_vars.items():
+    for name in spec.j_vars:
         conv = "np.asarray(j_arrays['%s'][_j], dtype=np.float64)" % name
         lines.append(f"            {name} = {conv}")
     for st in spec.statements:
@@ -289,7 +289,7 @@ def generate_numba_kernel(spec: KernelSpec, layout: str = "tile"):
     if layout == "tile":
         params = ", ".join(i_args + j_args)
     else:
-        params = ", ".join(["_ii", "_jj", "_n_i"] + i_args + j_args)
+        params = ", ".join(["_ii", "_jj", "_n_i", *i_args, *j_args])
     lines = [f"def {spec.name}({params}):"]
     if layout == "tile":
         lines.append(f"    _ni = _a_{next(iter(spec.i_vars))}.shape[0]")
@@ -354,7 +354,7 @@ def generate_numba_kernel(spec: KernelSpec, layout: str = "tile"):
 
         def kernel(i_arrays, j_arrays):
             outs = inner(*_gather(i_arrays, spec.i_vars), *_gather(j_arrays, spec.j_vars))
-            return dict(zip(spec.accumulators, outs))
+            return dict(zip(spec.accumulators, outs, strict=True))
 
     else:
 
@@ -366,7 +366,7 @@ def generate_numba_kernel(spec: KernelSpec, layout: str = "tile"):
                 np.ascontiguousarray(jj, dtype=np.int64),
                 n_i, *i_in, *_gather(j_arrays, spec.j_vars),
             )
-            return dict(zip(spec.accumulators, outs))
+            return dict(zip(spec.accumulators, outs, strict=True))
 
     kernel.source = source
     kernel.spec = spec

@@ -176,7 +176,7 @@ def predict_batch_buffers(
         ServeResponse(
             event_id=r.event_id, return_step=r.return_step, particles=p
         ).to_buffer()
-        for r, p in zip(requests, predicted)
+        for r, p in zip(requests, predicted, strict=True)
     ]
 
 

@@ -36,10 +36,24 @@ import multiprocessing as mp
 import queue as queue_mod
 import time
 from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Any, Union
 
 import numpy as np
 
 from repro.serve.wire import ServeRequest, ServeResponse
+
+if TYPE_CHECKING:  # annotation-only: a top-level import would be a cycle
+    from repro.serve.metrics import ServiceMetrics
+    from repro.serve.server import SurrogateSpec
+    from repro.surrogate.model import SNSurrogate
+
+#: A control entry: ``(SLOT, index, nfloats)`` for ring-resident payloads,
+#: ``(INLINE, buffer)`` for queue-pickled fallbacks.
+Entry = Union[tuple[int, int, int], tuple[int, np.ndarray]]
+
+#: A worker reply after :meth:`_ShmTransport._convert`:
+#: ``(batch_id, worker_id, buffers-or-exception, busy_seconds)``.
+Reply = tuple[int, int, "list[np.ndarray] | Exception", float]
 
 #: Seconds wait() tolerates before declaring the workers dead (mirrors
 #: :data:`repro.serve.server.WORKER_TIMEOUT_S`; kept local to avoid an
@@ -77,7 +91,7 @@ class SharedMemoryRing:
     mapped memory.
     """
 
-    def __init__(self, n_slots: int, slot_floats: int, name: str | None = None):
+    def __init__(self, n_slots: int, slot_floats: int, name: str | None = None) -> None:
         if n_slots < 1 or slot_floats < 1:
             raise ValueError("ring needs at least one slot of at least one float")
         self.n_slots = int(n_slots)
@@ -101,11 +115,15 @@ class SharedMemoryRing:
 
     def slot(self, index: int, nfloats: int | None = None) -> np.ndarray:
         """A live view of slot ``index`` (optionally length-trimmed)."""
+        if self._arr is None:
+            raise ValueError("ring is closed")
         row = self._arr[index]
         return row if nfloats is None else row[:nfloats]
 
     def write(self, index: int, buf: np.ndarray) -> int:
         """Memmove an encoded wire buffer into a slot; returns floats used."""
+        if self._arr is None:
+            raise ValueError("ring is closed")
         n = buf.size
         self._arr[index, :n] = buf
         return n
@@ -128,8 +146,11 @@ class SharedMemoryRing:
 
 
 def serve_batch_in_place(
-    surrogate, ring: SharedMemoryRing, entries, pad_to: int | None = None
-):
+    surrogate: SNSurrogate,
+    ring: SharedMemoryRing,
+    entries: list[Entry],
+    pad_to: int | None = None,
+) -> list[Entry]:
     """Worker inner loop: decode from slots, predict, overwrite in place.
 
     ``entries`` come from :meth:`_ShmTransport.dispatch`: ``(SLOT, index,
@@ -157,7 +178,7 @@ def serve_batch_in_place(
         pad_to=pad_to,
     )
     out = []
-    for request, index, particles in zip(requests, out_slots, predicted):
+    for request, index, particles in zip(requests, out_slots, predicted, strict=True):
         response = ServeResponse(
             event_id=request.event_id,
             return_step=request.return_step,
@@ -173,12 +194,12 @@ def serve_batch_in_place(
 
 def _shm_worker_main(
     worker_id: int,
-    spec,
+    spec: SurrogateSpec | SNSurrogate,
     ring_name: str,
     n_slots: int,
     slot_floats: int,
-    req_q,
-    res_q,
+    req_q: Any,
+    res_q: Any,
     pad_to: int | None,
 ) -> None:
     """Pool-node worker: attach the ring, build the surrogate, serve."""
@@ -215,13 +236,13 @@ class _ShmTransport:
 
     def __init__(
         self,
-        spec,
+        spec: SurrogateSpec | SNSurrogate,
         n_workers: int,
         ctx_method: str | None = None,
         pad_to: int | None = None,
         n_slots: int = 32,
         slot_floats: int = 0,
-        metrics=None,
+        metrics: ServiceMetrics | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("shm transport needs at least one worker")
@@ -260,7 +281,7 @@ class _ShmTransport:
         return len(self._free)
 
     def dispatch(self, batch_id: int, buffers: list[np.ndarray]) -> None:
-        entries = []
+        entries: list[Entry] = []
         leased: list[int] = []
         for buf in buffers:
             if self._free and buf.size <= self._ring.slot_floats:
@@ -279,7 +300,7 @@ class _ShmTransport:
         self._batch_slots[batch_id] = leased
         self._req_q.put((batch_id, entries))
 
-    def _convert(self, item):
+    def _convert(self, item: tuple[int, int, Any, float]) -> Reply:
         """Turn a worker reply into the server's (id, wid, buffers, s) shape.
 
         Slot-resident responses are memmoved out of the ring (the response
@@ -292,7 +313,7 @@ class _ShmTransport:
         try:
             if isinstance(payload, Exception):
                 return (batch_id, worker_id, payload, busy_s)
-            buffers = []
+            buffers: list[np.ndarray] = []
             for entry in payload:
                 if entry[0] == SLOT:
                     _, index, nfloats = entry
@@ -303,15 +324,15 @@ class _ShmTransport:
         finally:
             self._free.extend(leased)
 
-    def poll(self):
-        out = []
+    def poll(self) -> list[Reply]:
+        out: list[Reply] = []
         while True:
             try:
                 out.append(self._convert(self._res_q.get_nowait()))
             except queue_mod.Empty:
                 return out
 
-    def wait(self, timeout: float = _WORKER_TIMEOUT_S):
+    def wait(self, timeout: float = _WORKER_TIMEOUT_S) -> Reply:
         deadline = time.monotonic() + timeout
         while True:
             try:

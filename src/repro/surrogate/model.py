@@ -148,7 +148,7 @@ class SNSurrogate:
             VoxelGrid(
                 fields=self.transform.decode_target(r), center=g.center, side=g.side
             )
-            for r, g in zip(raw, grids)
+            for r, g in zip(raw, grids, strict=True)
         ]
 
     # ---------------------------------------------------------- particle path
@@ -197,7 +197,7 @@ class SNSurrogate:
             voxelize_particles(regions[i], centers[i], self.side, self.n_grid)
             for i in live
         ]
-        for i, grid_out in zip(live, self.predict_fields_batch(grids, pad_to=pad_to)):
+        for i, grid_out in zip(live, self.predict_fields_batch(grids, pad_to=pad_to), strict=True):
             out[i] = devoxelize_to_particles(
                 grid_out, regions[i], rngs[i], n_sweeps=self.gibbs_sweeps
             )

@@ -62,7 +62,7 @@ class SNTrainingDataset:
 
     def save(self, path: str | Path) -> None:
         payload: dict[str, np.ndarray] = {}
-        for i, (x, y) in enumerate(zip(self.inputs, self.targets)):
+        for i, (x, y) in enumerate(zip(self.inputs, self.targets, strict=True)):
             payload[f"x{i}"] = x
             payload[f"y{i}"] = y
         np.savez_compressed(path, n=np.array(len(self)), **payload)

@@ -105,7 +105,7 @@ def test_group_slices_cover_all():
     slices = tree.group_slices(50)
     assert slices[0][0] == 0
     assert slices[-1][1] == len(pos)
-    for (s0, e0), (s1, e1) in zip(slices, slices[1:]):
+    for (_s0, e0), (s1, _e1) in zip(slices, slices[1:]):
         assert e0 == s1
     assert all(e - s <= 50 for s, e in slices)
 

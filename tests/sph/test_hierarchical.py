@@ -50,7 +50,7 @@ def test_efficiency_capped_by_overhead():
 
 
 def test_zero_overhead_recovers_ideal_individual_stepping():
-    dts = np.array([2e-3] * 99 + [2e-3 / 16])
+    dts = np.array([*[2e-3] * 99, 2e-3 / 16])
     out = hierarchical_efficiency(dts, 2e-3, fixed_overhead=0.0)
     ideal = (100 * 16) / (99 + 16)
     assert out["speedup"] == pytest.approx(ideal)
