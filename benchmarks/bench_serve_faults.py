@@ -1,0 +1,160 @@
+"""Serve fault-tolerance benchmark: what a worker crash actually costs.
+
+Runs the same submit/collect workload three ways — fault-free, with one
+injected SIGKILL mid-flight, and with one hung worker — over the
+``process`` and ``shm`` transports, and measures:
+
+* **recovery overhead**: wall-clock of the faulted run vs the fault-free
+  baseline (a kill costs one supervision pass + one re-dispatch; a hang
+  additionally waits out ``batch_timeout_s``);
+* **time-to-recovery**: the supervisor's measured death-to-restart
+  latency (``ServiceMetrics.recovery_s``);
+* **the headline invariant**: every faulted run's predictions are
+  byte-for-byte the fault-free run's predictions — asserted, not plotted.
+
+Results land in ``benchmarks/results/BENCH_serve_faults.json``.  Runs as a
+pytest bench or standalone (the CI chaos leg):
+
+    python benchmarks/bench_serve_faults.py --smoke
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.fdps.particles import ParticleSet, ParticleType
+from repro.serve import SupervisionConfig, SurrogateServer, SurrogateSpec
+
+SMOKE = bool(int(os.environ.get("REPRO_BENCH_SMOKE", "0")))
+LATENCY = 6
+#: Fast recovery so the hang scenario measures the protocol, not the wait.
+SUPERVISION = SupervisionConfig(
+    max_consecutive_failures=3,
+    backoff_base_s=0.05,
+    backoff_cap_s=0.2,
+    batch_timeout_s=1.0,
+)
+SCENARIOS = {
+    "baseline": None,
+    "kill": "kill@w0:b1",
+    "hang": "hang@w0:b1:30.0",
+}
+
+
+def _region(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    ps = ParticleSet.from_arrays(
+        pos=rng.uniform(-25, 25, (n, 3)),
+        mass=np.full(n, 1.0),
+        pid=np.arange(n) + 1000 * seed,
+        ptype=np.full(n, int(ParticleType.GAS)),
+    )
+    ps.u[:] = 25.0
+    ps.h[:] = 8.0
+    return ps
+
+
+def _run(transport, fault_plan, n_events):
+    """One submit/collect workload; returns (wall_s, {eid: particles}, metrics)."""
+    spec = SurrogateSpec(kind="oracle", n_grid=8, side=60.0, t_after=0.1)
+    with SurrogateServer(
+        spec=spec, transport=transport, n_workers=2, max_batch=2,
+        shm_slots=16, fault_plan=fault_plan, supervision=SUPERVISION,
+    ) as srv:
+        t0 = time.perf_counter()
+        for k in range(n_events):
+            srv.submit(_region(seed=k), np.zeros(3), star_pid=k,
+                       dispatch_step=0, return_step=LATENCY)
+        got = {r.event_id: r.particles for r in srv.collect(LATENCY)}
+        wall = time.perf_counter() - t0
+        metrics = {
+            "n_redispatch": srv.metrics.n_redispatch,
+            "n_fault_oracle": srv.metrics.n_fault_oracle,
+            "n_batch_timeouts": srv.metrics.n_batch_timeouts,
+            "n_worker_restarts": srv.metrics.n_worker_restarts,
+            "n_slots_reclaimed": srv.metrics.n_slots_reclaimed,
+            "recovery_s": list(srv.metrics.recovery_s),
+        }
+    return wall, got, metrics
+
+
+def _assert_bit_identical(got, reference):
+    assert sorted(got) == sorted(reference)
+    for eid, ref in reference.items():
+        for name, arr in ref.data.items():
+            assert np.array_equal(got[eid].data[name], arr), (eid, name)
+
+
+def run_fault_bench(n_events):
+    payload = {"smoke": SMOKE, "n_events": n_events, "transports": {}}
+    rows = []
+    for transport in ("process", "shm"):
+        per = {}
+        baseline_got = None
+        for scenario, plan in SCENARIOS.items():
+            wall, got, metrics = _run(transport, plan, n_events)
+            if scenario == "baseline":
+                baseline_got = got
+            else:
+                _assert_bit_identical(got, baseline_got)
+            per[scenario] = {"wall_s": wall, **metrics}
+        for scenario in ("kill", "hang"):
+            per[scenario]["overhead_s"] = (
+                per[scenario]["wall_s"] - per["baseline"]["wall_s"]
+            )
+        payload["transports"][transport] = per
+        rows += [
+            [f"{transport} baseline wall [s]", f"{per['baseline']['wall_s']:.3f}"],
+            [f"{transport} kill overhead [s]", f"{per['kill']['overhead_s']:.3f}"],
+            [f"{transport} hang overhead [s]", f"{per['hang']['overhead_s']:.3f}"],
+            [
+                f"{transport} mean time-to-recovery [s]",
+                f"{np.mean(per['kill']['recovery_s']):.3f}"
+                if per["kill"]["recovery_s"] else "n/a (run ended first)",
+            ],
+        ]
+    return payload, rows
+
+
+def test_serve_faults(benchmark, results_dir, write_result):
+    from benchmarks.conftest import fmt_table
+
+    n_events = 8 if SMOKE else 24
+    payload, rows = benchmark.pedantic(
+        run_fault_bench, args=(n_events,), rounds=1, iterations=1
+    )
+    (results_dir / "BENCH_serve_faults.json").write_text(
+        json.dumps(payload, indent=2)
+    )
+    write_result("serve_faults", fmt_table(["metric", "value"], rows))
+    for transport, per in payload["transports"].items():
+        assert per["kill"]["n_redispatch"] + per["kill"]["n_fault_oracle"] >= 1
+        assert per["hang"]["n_batch_timeouts"] >= 1
+
+
+def main(argv):
+    """Standalone entry for the CI chaos leg (no pytest-benchmark needed)."""
+    global SMOKE
+    if "--smoke" in argv:
+        SMOKE = True
+    n_events = 8 if SMOKE else 24
+    payload, rows = run_fault_bench(n_events)
+    results = Path(__file__).parent / "results"
+    results.mkdir(exist_ok=True)
+    (results / "BENCH_serve_faults.json").write_text(json.dumps(payload, indent=2))
+    width = max(len(r[0]) for r in rows)
+    for name, value in rows:
+        print(f"{name:<{width}}  {value}")
+    for transport, per in payload["transports"].items():
+        assert per["kill"]["n_redispatch"] + per["kill"]["n_fault_oracle"] >= 1, transport
+        assert per["hang"]["n_batch_timeouts"] >= 1, transport
+    print("serve fault bench: recoveries bit-identical on both transports")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

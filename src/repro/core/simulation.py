@@ -25,7 +25,13 @@ from repro.core.pool import PoolManager
 from repro.fdps.particles import ParticleSet
 from repro.physics.cooling import CoolingModel
 from repro.physics.star_formation import StarFormationModel
-from repro.serve import OverflowPolicy, SurrogateServer
+from repro.serve import (
+    FaultMode,
+    FaultPlan,
+    OverflowPolicy,
+    SupervisionConfig,
+    SurrogateServer,
+)
 from repro.surrogate.model import SedovBlastOracle, SNSurrogate
 
 
@@ -65,6 +71,14 @@ class GalaxySimulation:
     overflow_policy : what :class:`PoolManager` does when every pool node
         is busy — ``"queue"`` (legacy), ``"block"``, ``"spill"``, or
         ``"oracle"`` (:class:`repro.serve.OverflowPolicy`).
+    serve_fault_mode / serve_supervision : worker fault tolerance —
+        ``"recover"`` (default: restart dead workers, re-dispatch lost
+        batches, degrade to inline inference as last resort) or ``"raise"``
+        (surface the first worker fault); :class:`repro.serve
+        .SupervisionConfig` tunes timeouts and backoff.
+    serve_fault_plan : scripted fault injection for chaos testing
+        (:class:`repro.serve.FaultPlan` or its string form); ``None``
+        reads ``REPRO_SERVE_FAULTS`` from the environment.
     """
 
     def __init__(
@@ -87,6 +101,9 @@ class GalaxySimulation:
         serve_shm_slots: int = 32,
         serve_shm_slot_particles: int = 4096,
         overflow_policy: OverflowPolicy | str = OverflowPolicy.QUEUE,
+        serve_fault_mode: FaultMode | str = FaultMode.RECOVER,
+        serve_fault_plan: "FaultPlan | str | None" = None,
+        serve_supervision: "SupervisionConfig | None" = None,
     ) -> None:
         cfg = config or IntegratorConfig()
         cfg.dt = dt
@@ -120,6 +137,9 @@ class GalaxySimulation:
             max_wait_steps=serve_max_wait_steps,
             shm_slots=serve_shm_slots,
             shm_slot_particles=serve_shm_slot_particles,
+            fault_mode=serve_fault_mode,
+            fault_plan=serve_fault_plan,
+            supervision=serve_supervision,
         )
         self.pool = PoolManager(
             surrogate=surrogate,
@@ -181,11 +201,12 @@ class GalaxySimulation:
         self.close()
 
     # ------------------------------------------------------ checkpoint/restore
-    def save(self, path: str | Path) -> None:
-        """Checkpoint this run (see :func:`repro.fdps.io.save_simulation`)."""
+    def save(self, path: str | Path) -> Path:
+        """Checkpoint this run atomically; returns the final ``.npz`` path
+        (see :func:`repro.fdps.io.save_simulation`)."""
         from repro.fdps.io import save_simulation
 
-        save_simulation(self, path)
+        return save_simulation(self, path)
 
     @classmethod
     def restore(cls, path: str | Path, **overrides) -> "GalaxySimulation":

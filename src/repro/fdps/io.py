@@ -6,11 +6,18 @@ self-describing: loading tolerates snapshots written by older field
 registries (missing fields get defaults; unknown fields in the file are
 ignored with a warning), so long-running campaigns survive library
 upgrades.
+
+Writes are **atomic**: the payload goes to a hidden temp file in the
+target directory, is fsynced, and is ``os.replace``-d into place.  A
+writer killed mid-save (the checkpointing counterpart of the serve
+fault-tolerance story) leaves the previous checkpoint intact — there is
+never a moment when ``path`` names a torn file.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -31,13 +38,18 @@ def save_snapshot(
     extra_meta: dict | None = None,
     compressed: bool = True,
     extra_arrays: dict[str, np.ndarray] | None = None,
-) -> None:
-    """Write a particle snapshot (fields + header) to ``path``.
+) -> Path:
+    """Write a particle snapshot (fields + header) to ``path`` atomically.
 
     ``extra_arrays`` ride along under ``extra/<name>`` keys — the restore
     path uses them for the integrator's force arrays; plain
     :func:`load_snapshot` ignores them, so a checkpoint is also a valid
     snapshot for any older reader.
+
+    Returns the final path (numpy's convention: ``.npz`` is appended when
+    missing).  The bytes are staged in a temp file in the same directory
+    and renamed over ``path`` only once fully written and fsynced, so a
+    crash mid-save can never corrupt an existing checkpoint.
     """
     header = {
         "format_version": FORMAT_VERSION,
@@ -57,7 +69,22 @@ def save_snapshot(
         json.dumps(header).encode("utf-8"), dtype=np.uint8
     )
     writer = np.savez_compressed if compressed else np.savez
-    writer(path, **payload)
+    final = Path(path)
+    if not final.name.endswith(".npz"):      # numpy appends .npz to str paths
+        final = final.with_name(final.name + ".npz")
+    tmp = final.with_name(f".{final.name}.tmp-{os.getpid()}")
+    try:
+        # Write to an open file object: numpy never renames or suffixes
+        # those, so the staged bytes land exactly at ``tmp``.
+        with open(tmp, "wb") as fh:
+            writer(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return final
 
 
 def _read_snapshot(data, path) -> tuple[ParticleSet, dict]:
@@ -92,7 +119,7 @@ def load_snapshot(path: str | Path) -> tuple[ParticleSet, dict]:
         return _read_snapshot(data, path)
 
 
-def save_simulation(sim, path: str | Path) -> None:
+def save_simulation(sim, path: str | Path) -> Path:
     """Checkpoint a :class:`~repro.core.simulation.GalaxySimulation`.
 
     Captures the particle state, the integrator clock and counters, the
@@ -146,7 +173,7 @@ def save_simulation(sim, path: str | Path) -> None:
             "du_dt": integ._du_dt,
             "vsig": integ._vsig,
         }
-    save_snapshot(
+    return save_snapshot(
         ps_save,
         path,
         time=sim.time,

@@ -52,8 +52,19 @@ Repo invariants (the rule catalog)
 ``lease-pairing``
     In ``repro.serve.shm`` every slot lease (``_free.pop()``) reaches a
     release (``_free.extend``/``append`` on a ``finally`` edge) or a
-    handoff into the in-flight registry (``_batch_slots``).  Motivated by
-    the worker-exception slot-reclaim test in ``tests/serve/test_shm.py``.
+    handoff into a lease registry (``_batch_slots``, or ``_zombies`` for
+    timed-out batches whose worker may still touch the slot); takeovers
+    from either registry release or hand off the same way.  Motivated by
+    the worker-exception slot-reclaim test in ``tests/serve/test_shm.py``
+    and the fault-recovery zombie protocol of ISSUE 8.
+
+``silent-except``
+    No bare ``except`` / ``except Exception`` / ``BaseException`` handler
+    in ``repro`` may swallow the failure without a trace: it must
+    re-raise, log, or use the bound exception (e.g. ship it back over a
+    result queue).  Narrow tuples pass.  Motivated by the fault-tolerance
+    work: an invisible swallow is a fault the ``ServiceMetrics`` counters
+    and the chaos suite can never pin.
 
 ``wire-symmetry``
     Every wire encoder class defines ``from_buffer``, and the constant

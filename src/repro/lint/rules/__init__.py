@@ -2,6 +2,7 @@
 
 from repro.lint.rules import (  # noqa: F401
     determinism,
+    exceptions,
     hotpath,
     imports,
     ledger,

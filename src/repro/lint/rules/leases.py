@@ -11,12 +11,15 @@ The rule is an intraprocedural walk over each function in
 ``repro.serve.shm``:
 
 * a function that *acquires* (``<x>._free.pop()``) must either release in
-  the same function or hand the lease off to the in-flight registry
-  (assign into ``<x>._batch_slots[...]``);
+  the same function or hand the lease off to a lease registry (assign into
+  ``<x>._batch_slots[...]`` or, for timed-out batches whose worker may
+  still touch the slot, ``<x>._zombies[...]``);
 * a function that *releases* (``<x>._free.extend/append``) after acquiring
-  or taking over leases (``<x>._batch_slots.pop(...)``) must do so on a
-  ``finally`` edge, so the exception path releases too;
-* a takeover with no release at all is a leak.
+  or taking over leases (``<x>._batch_slots.pop(...)`` /
+  ``<x>._zombies.pop(...)``) must do so on a ``finally`` edge, so the
+  exception path releases too;
+* a takeover with neither a release nor a handoff to the other registry is
+  a leak.
 
 The ``try/finally`` requirement is the CFG bit: a release reached only on
 the fall-through edge misses every raising path through the function.
@@ -33,6 +36,11 @@ from repro.lint.registry import register_rule
 #: Attribute names that define the lease protocol in repro.serve.shm.
 FREE_STACK_ATTR = "_free"
 INFLIGHT_REGISTRY_ATTR = "_batch_slots"
+#: Leases of timed-out batches park here until provably released (fault
+#: recovery, ISSUE 8) — same pairing discipline as the in-flight registry.
+ZOMBIE_REGISTRY_ATTR = "_zombies"
+
+_REGISTRY_ATTRS = (INFLIGHT_REGISTRY_ATTR, ZOMBIE_REGISTRY_ATTR)
 
 
 def _attr_chain_contains(node: ast.AST, attr: str) -> bool:
@@ -47,8 +55,8 @@ class LeasePairingRule(Rule):
     name = "lease-pairing"
     description = (
         "slot leases (_free.pop) must be released (_free.extend/append in a "
-        "finally) or handed to _batch_slots; takeovers must release in a "
-        "finally"
+        "finally) or handed to _batch_slots/_zombies; takeovers must release "
+        "in a finally or hand off"
     )
     scope_prefixes = ("repro.serve.shm",)
 
@@ -75,14 +83,15 @@ class LeasePairingRule(Rule):
                     owner, FREE_STACK_ATTR
                 ):
                     releases.append(node)
-                elif node.func.attr == "pop" and _attr_chain_contains(
-                    owner, INFLIGHT_REGISTRY_ATTR
+                elif node.func.attr == "pop" and any(
+                    _attr_chain_contains(owner, attr) for attr in _REGISTRY_ATTRS
                 ):
                     takeovers.append(node)
             elif isinstance(node, ast.Assign):
                 for target in node.targets:
-                    if isinstance(target, ast.Subscript) and _attr_chain_contains(
-                        target.value, INFLIGHT_REGISTRY_ATTR
+                    if isinstance(target, ast.Subscript) and any(
+                        _attr_chain_contains(target.value, attr)
+                        for attr in _REGISTRY_ATTRS
                     ):
                         handoffs.append(node)
 
@@ -91,7 +100,8 @@ class LeasePairingRule(Rule):
             out.append(ctx.finding(
                 acquires[0], self.name,
                 f"'{fn.name}' pops a slot lease but neither releases it nor "
-                f"records it in {INFLIGHT_REGISTRY_ATTR}; the slot leaks",
+                f"records it in {INFLIGHT_REGISTRY_ATTR}/"
+                f"{ZOMBIE_REGISTRY_ATTR}; the slot leaks",
             ))
         if (acquires or takeovers) and releases:
             if not any(in_finally_block(r) for r in releases):
@@ -100,10 +110,10 @@ class LeasePairingRule(Rule):
                     f"'{fn.name}' releases slot leases outside any finally "
                     "block; an exception on the way leaks every leased slot",
                 ))
-        if takeovers and not releases:
+        if takeovers and not releases and not handoffs:
             out.append(ctx.finding(
                 takeovers[0], self.name,
-                f"'{fn.name}' takes over in-flight leases from "
-                f"{INFLIGHT_REGISTRY_ATTR} but never releases them",
+                f"'{fn.name}' takes over leases from a lease registry but "
+                "neither releases them nor hands them to the other registry",
             ))
         return out

@@ -12,7 +12,8 @@ statically:
 * the constant indices/slices written to the output buffer in
   ``encode_into`` must equal those read from the input buffer in
   ``from_buffer`` — indices validated by a shared ``*check_header*`` helper
-  (magic + version, slots 0-1) count as read.
+  (magic + version, slots 0-1) count as read, as do the constant slot
+  indices a ``*header_counts*`` helper is asked to decode.
 
 Non-constant subscripts (the payload slice ``out[HEADER:total]``) are
 outside the header contract and ignored.
@@ -69,13 +70,29 @@ def _header_slots(fn: ast.FunctionDef, buffer: str, stores: bool) -> set[int]:
     return out
 
 
-def _calls_check_helper(fn: ast.FunctionDef) -> bool:
+def _helper_validated_slots(fn: ast.FunctionDef) -> set[int]:
+    """Header slots a decoder delegates to shared validation helpers.
+
+    ``*check_header*`` covers magic+version (slots 0-1); a
+    ``*header_counts*`` call reads whatever constant slot indices it is
+    handed (the count/width slots, e.g. ``_header_counts(buf, 10, 11, ...)``).
+    """
+    out: set[int] = set()
     for node in ast.walk(fn):
-        if isinstance(node, ast.Call):
-            chain = dotted_name(node.func)
-            if chain and "check_header" in chain.rsplit(".", 1)[-1]:
-                return True
-    return False
+        if not isinstance(node, ast.Call):
+            continue
+        chain = dotted_name(node.func)
+        if not chain:
+            continue
+        leaf = chain.rsplit(".", 1)[-1]
+        if "check_header" in leaf:
+            out |= CHECKED_BY_HELPER
+        elif "header_counts" in leaf:
+            out |= {
+                a.value for a in node.args
+                if isinstance(a, ast.Constant) and isinstance(a.value, int)
+            }
+    return out
 
 
 @register_rule
@@ -117,8 +134,7 @@ class WireSymmetryRule(Rule):
                 continue
             written = _header_slots(encoder, enc_buf, stores=True)
             read = _header_slots(decoder, dec_buf, stores=False)
-            if _calls_check_helper(decoder):
-                read |= CHECKED_BY_HELPER
+            read |= _helper_validated_slots(decoder)
             if written != read:
                 only_w = sorted(written - read)
                 only_r = sorted(read - written)

@@ -52,16 +52,68 @@ transport  where inference runs  payload copy semantics         when to use
 
 The ``SimComm`` ``pool_p2p`` ledger always charges the wire buffer's exact
 ``nbytes``, so the measured communication volume is transport-independent.
+
+Failure modes and recovery
+--------------------------
+
+A long production run must treat the oracle fallback — not a crash — as
+the worst case (the shared-ML-server deployments the paper line targets
+run for days).  Under the default ``fault_mode="recover"`` the worker
+transports survive every worker-side fault; the ``sync`` transport has no
+workers and nothing to survive:
+
+=================== ======================== ===============================
+fault               detection                recovery
+=================== ======================== ===============================
+worker dies         ``is_alive`` edge in the supervisor restarts it from the
+(crash, OOM, kill)  supervision pass; the    picklable recipe with capped
+                    claim row attributes the exponential backoff; the lost
+                    batch it held            batch re-dispatches from the
+                                             in-flight request registry
+worker hangs        per-batch timeout        batch re-dispatches; the hung
+                    (``SupervisionConfig     worker's shm leases park as
+                    .batch_timeout_s``)      zombies until provably released
+response dropped    per-batch timeout        same as a hang
+response corrupt    :class:`~repro.serve     batch re-dispatches; events the
+                    .wire.WireFormatError`   good buffers covered are kept
+                    at decode                (idempotent)
+worker raises       exception row on the     events resolve *inline* on the
+in predict          result queue             main rank (request-dependent
+                                             faults would recur on retry)
+repeated failures   ``max_consecutive_       service *degrades*: all work
+                    failures`` per worker;   runs inline on the main rank
+                    every slot abandoned     and the run still finishes
+=================== ======================== ===============================
+
+Re-dispatched requests keep their original ``dispatch_step``, so the
+per-event RNG — and therefore the prediction bytes — are unchanged: a run
+with injected worker kills finishes **bit-identical** to a fault-free run,
+with the recoveries visible only in :class:`ServiceMetrics`
+(``n_worker_restarts``, ``n_redispatch``, ``n_fault_oracle``,
+``n_slots_reclaimed``, ``n_batch_timeouts``, ``recovery_s``).
+``fault_mode="raise"`` disables all of this and surfaces the first fault
+as an exception (debugging the workers themselves).  Faults are scripted
+deterministically via :class:`FaultPlan` / ``REPRO_SERVE_FAULTS`` — see
+:mod:`repro.serve.faults`, ``tests/serve/test_faults.py``, and
+``benchmarks/bench_serve_faults.py``.
 """
 
 from repro.serve.batch import BatchScheduler
+from repro.serve.faults import Fault, FaultInjector, FaultPlan, InjectedWorkerError
 from repro.serve.metrics import ServiceMetrics
-from repro.serve.policies import OverflowPolicy
-from repro.serve.server import SurrogateServer, SurrogateSpec, predict_batch_buffers
+from repro.serve.policies import FaultMode, OverflowPolicy
+from repro.serve.server import (
+    SupervisionConfig,
+    SurrogateServer,
+    SurrogateSpec,
+    WorkerLost,
+    predict_batch_buffers,
+)
 from repro.serve.shm import SharedMemoryRing
 from repro.serve.wire import (
     ServeRequest,
     ServeResponse,
+    WireFormatError,
     event_rng,
     request_nfloats,
     response_nfloats,
@@ -69,13 +121,21 @@ from repro.serve.wire import (
 
 __all__ = [
     "BatchScheduler",
+    "Fault",
+    "FaultInjector",
+    "FaultMode",
+    "FaultPlan",
+    "InjectedWorkerError",
     "OverflowPolicy",
     "ServeRequest",
     "ServeResponse",
     "ServiceMetrics",
     "SharedMemoryRing",
+    "SupervisionConfig",
     "SurrogateServer",
     "SurrogateSpec",
+    "WireFormatError",
+    "WorkerLost",
     "event_rng",
     "predict_batch_buffers",
     "request_nfloats",

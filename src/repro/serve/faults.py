@@ -1,0 +1,177 @@
+"""Deterministic fault injection for the serve worker pool.
+
+The fault-tolerance layer of :mod:`repro.serve.server` (supervision,
+re-dispatch, inline-oracle degradation) is only trustworthy if its failure
+paths are *testable on purpose*.  This module scripts worker failures
+deterministically so the chaos suite (``tests/serve/test_faults.py``) and
+``benchmarks/bench_serve_faults.py`` can assert the headline invariant: a
+run with injected faults finishes **bit-identical** to a fault-free run,
+with the recoveries visible only in :class:`~repro.serve.metrics
+.ServiceMetrics`.
+
+* :class:`Fault` — one scripted failure: ``(action, worker, nth batch)``
+  plus an optional duration.  Actions:
+
+  ========== ============================================================
+  ``kill``    SIGKILL the worker process at claim time (crash fault)
+  ``hang``    sleep ``seconds`` at claim time (hung-worker fault; the
+              server's per-batch timeout must fire)
+  ``raise``   raise :class:`InjectedWorkerError` inside the predict call
+              (shipped back as an exception row, like any worker bug)
+  ``corrupt`` flip the first response buffer's wire magic after a
+              successful predict (torn/corrupt response fault)
+  ``drop``    serve the batch but never post the ``done`` row (lost
+              response fault; again the per-batch timeout must fire)
+  ========== ============================================================
+
+* :class:`FaultPlan` — a picklable tuple of faults, threaded to
+  ``_worker_main``/``_shm_worker_main`` through the worker spawn args (next
+  to the :class:`~repro.serve.server.SurrogateSpec`), parseable from the
+  ``REPRO_SERVE_FAULTS`` environment variable or a
+  :class:`~repro.core.simulation.GalaxySimulation` kwarg.
+* :class:`FaultInjector` — the per-worker runtime: counts the batches this
+  worker process has claimed (1-based, resetting when a worker is
+  restarted — a restarted worker re-runs its script) and fires the matching
+  actions at the scripted points.
+
+Faults are keyed on the *worker's own claim ordinal*, not a global batch
+id: which worker claims which batch is a queue race, but per-event seeded
+Gibbs makes the predictions independent of worker/ordering, so the
+bit-identity assertions hold regardless of which batch a fault lands on.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+#: Actions :class:`FaultInjector` knows how to perform.
+FAULT_ACTIONS = ("kill", "hang", "raise", "corrupt", "drop")
+
+#: Seconds a worker sleeps between posting its claim row and SIGKILLing
+#: itself, so the queue feeder thread flushes the claim and the supervisor
+#: can attribute the lost batch (the per-batch timeout is the backstop when
+#: the row is lost anyway).
+KILL_FLUSH_S = 0.05
+
+
+class InjectedWorkerError(RuntimeError):
+    """The scripted ``raise`` fault — a stand-in for any worker-side bug."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted failure on one worker's nth claimed batch (1-based)."""
+
+    action: str
+    worker: int
+    nth: int
+    seconds: float = 0.0        # hang duration; unused by other actions
+
+    def __post_init__(self) -> None:
+        if self.action not in FAULT_ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r} "
+                f"(options: {', '.join(FAULT_ACTIONS)})"
+            )
+        if self.worker < 0 or self.nth < 1:
+            raise ValueError("fault needs worker >= 0 and nth >= 1")
+
+    def as_str(self) -> str:
+        base = f"{self.action}@w{self.worker}:b{self.nth}"
+        return f"{base}:{self.seconds:g}" if self.seconds else base
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A picklable script of worker failures for one server lifetime."""
+
+    faults: tuple[Fault, ...] = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse ``"kill@w0:b1,hang@w1:b2:0.5"`` (comma-separated faults).
+
+        Each fault is ``action@w<worker>:b<nth>[:<seconds>]``; ``seconds``
+        is only meaningful for ``hang``.
+        """
+        faults = []
+        for chunk in text.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            try:
+                action, _, rest = chunk.partition("@")
+                parts = rest.split(":")
+                worker = int(parts[0].lstrip("w"))
+                nth = int(parts[1].lstrip("b"))
+                seconds = float(parts[2]) if len(parts) > 2 else 0.0
+            except (ValueError, IndexError) as exc:
+                raise ValueError(
+                    f"bad fault spec {chunk!r}; expected "
+                    "action@w<worker>:b<nth>[:<seconds>]"
+                ) from exc
+            faults.append(Fault(action, worker, nth, seconds))
+        return cls(faults=tuple(faults))
+
+    @classmethod
+    def from_env(cls, var: str = "REPRO_SERVE_FAULTS") -> "FaultPlan | None":
+        """The plan scripted in the environment, or None when unset/empty."""
+        text = os.environ.get(var, "").strip()
+        if not text:
+            return None
+        return cls.parse(text)
+
+    def as_str(self) -> str:
+        return ",".join(f.as_str() for f in self.faults)
+
+    def for_worker(self, worker_id: int) -> tuple[Fault, ...]:
+        return tuple(f for f in self.faults if f.worker == worker_id)
+
+
+class FaultInjector:
+    """Per-worker runtime that fires a :class:`FaultPlan`'s scripted faults.
+
+    Built inside the worker process (one per worker lifetime, so a
+    restarted worker starts a fresh claim count and re-runs its script —
+    which is exactly what the degradation tests rely on: a worker whose
+    first claim always kills it can never serve, and the supervisor must
+    eventually stop restarting it).
+    """
+
+    def __init__(self, plan: FaultPlan, worker_id: int) -> None:
+        self._faults = plan.for_worker(worker_id)
+        self._n = 0
+
+    def _find(self, action: str) -> Fault | None:
+        for f in self._faults:
+            if f.action == action and f.nth == self._n:
+                return f
+        return None
+
+    def on_claim(self) -> None:
+        """Claim-time faults: advance the ordinal, then kill or hang."""
+        self._n += 1
+        if self._find("kill") is not None:
+            time.sleep(KILL_FLUSH_S)      # let the claim row flush first
+            os.kill(os.getpid(), signal.SIGKILL)
+        hang = self._find("hang")
+        if hang is not None:
+            time.sleep(hang.seconds)
+
+    def on_predict(self) -> None:
+        """Predict-time fault: raise inside the worker's try block."""
+        if self._find("raise") is not None:
+            raise InjectedWorkerError(
+                f"injected worker fault on claim #{self._n}"
+            )
+
+    def drops_response(self) -> bool:
+        """True when the scripted fault is to swallow this batch's reply."""
+        return self._find("drop") is not None
+
+    def corrupts_response(self) -> bool:
+        """True when the first response header must be torn before sending."""
+        return self._find("corrupt") is not None

@@ -8,6 +8,12 @@ occupancy, per-event latency percentiles (in global steps), worker busy
 time, and the wall-clock the main rank spent *blocked* on a late
 prediction — the exposed (non-overlapped) part of the DL time that the
 paper's Figs. 6–7 exclude because, ideally, it is zero.
+
+Fault tolerance is observable here too: worker restarts, batch
+re-dispatches, inline fault fallbacks, reclaimed shm slots, per-batch
+timeouts, and time-to-recovery samples all land in counters — the serve
+recovery paths *count* faults, they never swallow them (the
+``silent-except`` lint rule holds that line statically).
 """
 
 from __future__ import annotations
@@ -48,6 +54,25 @@ class ServiceMetrics:
     n_spilled: int = 0
     n_oracle_fallback: int = 0
     blocked_stall_steps: int = 0
+    # --- fault tolerance (worker supervision + recovery) ---------------------
+    #: Dead/hung workers the supervisor respawned from the spec.
+    n_worker_restarts: int = 0
+    #: Batches re-dispatched from the in-flight request registry after a
+    #: worker death, kill, or corrupt response.
+    n_redispatch: int = 0
+    #: Events resolved inline on the main rank by the fault fallback (the
+    #: same surrogate the workers build, so results stay bit-identical).
+    n_fault_oracle: int = 0
+    #: Shm ring slots reclaimed from dead workers back into the free list.
+    n_slots_reclaimed: int = 0
+    #: In-flight batches that blew their per-batch deadline (hung or lost).
+    n_batch_timeouts: int = 0
+    #: Exception rows shipped back by live workers (predict failures).
+    n_worker_errors: int = 0
+    #: Seconds from detecting each worker death to its replacement running.
+    recovery_s: list[float] = field(default_factory=list)
+    #: True once the server gave up on its workers and went inline-only.
+    degraded: bool = False
     # --- shm-transport accounting --------------------------------------------
     #: Requests dispatched zero-copy through a shared-memory ring slot.
     n_shm_slot: int = 0
@@ -144,4 +169,15 @@ class ServiceMetrics:
             "n_shm_fallback": self.n_shm_fallback,
             "shm_n_slots": self.shm_n_slots,
             "shm_slot_bytes": self.shm_slot_bytes,
+            "n_worker_restarts": self.n_worker_restarts,
+            "n_redispatch": self.n_redispatch,
+            "n_fault_oracle": self.n_fault_oracle,
+            "n_slots_reclaimed": self.n_slots_reclaimed,
+            "n_batch_timeouts": self.n_batch_timeouts,
+            "n_worker_errors": self.n_worker_errors,
+            "recovery_s": list(self.recovery_s),
+            "mean_recovery_s": (
+                float(np.mean(self.recovery_s)) if self.recovery_s else 0.0
+            ),
+            "degraded": self.degraded,
         }

@@ -1,11 +1,19 @@
-"""Backpressure: what happens when every pool node is busy.
+"""Degradation policy: what happens when the service cannot keep up — or
+cannot stay up.
 
-The paper sizes the pool so this never happens (n_pool = latency_steps
-means one SN per step per pool node sustains forever, Sec. 3.2), but a
-bursty star-formation region can exceed that.  The old code silently stole
-a busy node and bumped ``n_overflow``; the service makes the choice
-explicit — and guarantees that *no SN event is ever dropped*: every policy
-still delivers a prediction at the event's return step.
+Two independent axes of trouble share one principle (*no SN event is ever
+dropped*: every policy still delivers a prediction at the event's return
+step, at worst from the inline Sedov-oracle fallback):
+
+* **Load** — every pool node busy.  The paper sizes the pool so this never
+  happens (n_pool = latency_steps means one SN per step per pool node
+  sustains forever, Sec. 3.2), but a bursty star-formation region can
+  exceed that.  :class:`OverflowPolicy` makes the choice explicit.
+* **Crash** — a worker dies, hangs, or returns garbage.
+  :class:`FaultMode` decides whether the server recovers (re-dispatch from
+  the in-flight request registry, restart the worker, degrade to inline
+  prediction — the default, what a long production run needs) or raises
+  (the strict mode debugging wants).
 """
 
 from __future__ import annotations
@@ -43,4 +51,31 @@ class OverflowPolicy(str, Enum):
             options = ", ".join(p.value for p in cls)
             raise ValueError(
                 f"unknown overflow policy {value!r} (options: {options})"
+            ) from None
+
+
+class FaultMode(str, Enum):
+    """Server behaviour when a worker dies, hangs, or ships a bad reply."""
+
+    #: Recover: restart dead workers (capped exponential backoff),
+    #: re-dispatch lost batches from the in-flight request registry, and
+    #: after repeated failures degrade to inline prediction on the main
+    #: rank — the simulation finishes with recoveries visible only in
+    #: :class:`~repro.serve.metrics.ServiceMetrics`.
+    RECOVER = "recover"
+    #: Strict: any worker fault raises ``RuntimeError`` on the main rank
+    #: (the pre-fault-tolerance behaviour; useful when debugging the
+    #: workers themselves, where silent recovery would hide the bug).
+    RAISE = "raise"
+
+    @classmethod
+    def parse(cls, value: "FaultMode | str") -> "FaultMode":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            options = ", ".join(m.value for m in cls)
+            raise ValueError(
+                f"unknown fault mode {value!r} (options: {options})"
             ) from None

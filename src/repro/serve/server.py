@@ -20,6 +20,41 @@ The server owns a :class:`BatchScheduler` and a transport:
 Because the Gibbs re-sampling is seeded per event
 (:func:`repro.serve.wire.event_rng`), all transports — and any batch
 composition or worker count — produce bit-identical predictions.
+
+Fault tolerance
+---------------
+
+The worker transports survive worker faults instead of surfacing them as
+crashes of the main rank (``fault_mode="recover"``, the default):
+
+* **In-flight request registry** — the server keeps every dispatched
+  batch's request buffers until the batch's responses are absorbed, so a
+  lost batch can be *re-dispatched* byte-identically (the requests keep
+  their original ``dispatch_step``, hence the same per-event RNG) or
+  resolved *inline* on the main rank by the same surrogate recipe the
+  workers build.  Duplicate replies from a worker that was merely slow are
+  idempotent: a response for an event already completed is dropped.
+* **Worker supervision** — :class:`_WorkerSupervisor` detects dead workers
+  (``is_alive`` plus tagged heartbeat/claim rows on the result queue),
+  restarts them from the picklable recipe with capped exponential backoff,
+  and attributes each in-flight batch to the worker that claimed it so a
+  death converts exactly the claimed batches into :class:`WorkerLost`
+  replies.  After ``SupervisionConfig.max_consecutive_failures`` failures
+  without a successful batch a worker slot is abandoned; when every slot
+  is abandoned the service *degrades*: all outstanding and future work
+  runs inline on the main rank, bit-identically, and the run finishes.
+* **Per-batch timeouts** — a batch with no response within
+  ``SupervisionConfig.batch_timeout_s`` (a *hung* worker, or a dropped
+  reply) is expired at the transport and recovered like a death.
+
+Every recovery is counted, never swallowed (``n_worker_restarts``,
+``n_redispatch``, ``n_fault_oracle``, ``n_slots_reclaimed``,
+``n_batch_timeouts``, ``recovery_s`` in :class:`ServiceMetrics`).
+``fault_mode="raise"`` restores the strict pre-fault-tolerance behaviour:
+the first worker fault raises on the main rank.  Failures are injectable
+on purpose through a :class:`~repro.serve.faults.FaultPlan` (or the
+``REPRO_SERVE_FAULTS`` environment variable) — see
+:mod:`repro.serve.faults` and ``tests/serve/test_faults.py``.
 """
 
 from __future__ import annotations
@@ -33,13 +68,63 @@ import numpy as np
 
 from repro.fdps.particles import ParticleSet
 from repro.serve.batch import BatchScheduler
+from repro.serve.faults import FaultInjector, FaultPlan
 from repro.serve.metrics import ServiceMetrics
-from repro.serve.wire import ServeRequest, ServeResponse
+from repro.serve.policies import FaultMode
+from repro.serve.wire import ServeRequest, ServeResponse, WireFormatError
 from repro.surrogate.model import SedovBlastOracle, SNSurrogate
 from repro.util.constants import SN_ENERGY
 
-#: Seconds collect() waits for a late worker before declaring it dead.
+#: Seconds of *zero progress* (no replies, no recoveries) the server
+#: tolerates before giving up with TimeoutError — a backstop against
+#: protocol bugs, not the per-batch deadline (that is
+#: ``SupervisionConfig.batch_timeout_s``).
 WORKER_TIMEOUT_S = 120.0
+
+#: Seconds an idle worker waits for a request before posting a heartbeat
+#: row — the supervisor's liveness signal between batches.
+HEARTBEAT_S = 5.0
+
+#: Longest single blocking read on the result queue; bounds how stale the
+#: supervisor's death/timeout checks can get while the main rank waits.
+_WAIT_SLICE_S = 0.25
+
+#: A transport reply: ``(batch_id, worker_id, payload, busy_seconds)``
+#: where the payload is the response buffers, a worker-side exception, or
+#: a :class:`WorkerLost` marker for a batch lost to a dead worker.
+Reply = tuple[int, int, "list[np.ndarray] | Exception", float]
+
+
+class WorkerLost(RuntimeError):
+    """Marker payload: the worker holding this batch died before replying.
+
+    Travels *in band* as a reply payload so the server's absorb loop sees
+    worker deaths in dispatch order relative to real replies; it is never
+    raised by the transports themselves.
+    """
+
+
+@dataclass(frozen=True)
+class SupervisionConfig:
+    """Tunables for worker supervision and in-flight recovery."""
+
+    #: Worker deaths without an intervening served batch before the
+    #: supervisor stops restarting that worker slot.
+    max_consecutive_failures: int = 3
+    #: Restart backoff: ``base * 2**(failures-1)`` seconds, capped.
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    #: Seconds a dispatched batch may go unanswered before it is declared
+    #: lost (hung worker / dropped reply) and recovered.
+    batch_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_consecutive_failures < 1:
+            raise ValueError("max_consecutive_failures must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < self.backoff_base_s:
+            raise ValueError("need 0 <= backoff_base_s <= backoff_cap_s")
+        if self.batch_timeout_s <= 0:
+            raise ValueError("batch_timeout_s must be positive")
 
 
 @dataclass(frozen=True)
@@ -180,21 +265,47 @@ def predict_batch_buffers(
     ]
 
 
-def _worker_main(worker_id: int, spec, req_q, res_q, pad_to: int | None) -> None:
-    """Pool-node worker: build the surrogate once, then serve batches."""
+def _worker_main(worker_id: int, spec, req_q, res_q, pad_to: int | None,
+                 fault_plan: FaultPlan | None = None) -> None:
+    """Pool-node worker: build the surrogate once, then serve batches.
+
+    Result-queue rows are tagged so the main rank can supervise:
+
+    * ``("hb", worker_id)`` — idle heartbeat, every :data:`HEARTBEAT_S`.
+    * ``("claim", worker_id, batch_id)`` — posted *before* serving, so a
+      death mid-batch is attributable to exactly this batch.
+    * ``("done", worker_id, batch_id, payload, busy_s)`` — the response
+      buffers, or the worker-side exception.
+
+    ``fault_plan`` scripts deliberate failures (chaos tests); the injector
+    is rebuilt per worker lifetime, so a restarted worker re-runs its
+    script from claim #1.
+    """
+    injector = FaultInjector(fault_plan or FaultPlan(), worker_id)
     surrogate = _resolve_surrogate(spec)
     while True:
-        item = req_q.get()
+        try:
+            item = req_q.get(timeout=HEARTBEAT_S)
+        except queue_mod.Empty:
+            res_q.put(("hb", worker_id))
+            continue
         if item is None:
             break
         batch_id, buffers = item
+        res_q.put(("claim", worker_id, batch_id))
+        injector.on_claim()
         t0 = time.perf_counter()
         try:
+            injector.on_predict()
             responses = predict_batch_buffers(surrogate, buffers, pad_to=pad_to)
         except Exception as exc:  # ship the failure instead of dying silently
-            res_q.put((batch_id, worker_id, exc, 0.0))
+            res_q.put(("done", worker_id, batch_id, exc, 0.0))
             continue
-        res_q.put((batch_id, worker_id, responses, time.perf_counter() - t0))
+        if injector.corrupts_response() and responses:
+            responses[0][0] = -1.0      # tear the wire magic
+        if injector.drops_response():
+            continue
+        res_q.put(("done", worker_id, batch_id, responses, time.perf_counter() - t0))
 
 
 class _SyncTransport:
@@ -205,11 +316,15 @@ class _SyncTransport:
         self._surrogate = surrogate
         self._metrics = metrics
         self._pad_to = pad_to
-        self._done: list[tuple[int, int, list[np.ndarray], float]] = []
+        self._done: list[Reply] = []
 
     @property
     def n_workers(self) -> int:
         return 0
+
+    @property
+    def degraded(self) -> bool:
+        return False
 
     def dispatch(self, batch_id: int, buffers: list[np.ndarray]) -> None:
         t0 = time.perf_counter()
@@ -218,80 +333,348 @@ class _SyncTransport:
         self._metrics.inline_predict_s += elapsed
         self._done.append((batch_id, -1, responses, elapsed))
 
-    def poll(self) -> list[tuple[int, int, list[np.ndarray], float]]:
+    def poll(self) -> list[Reply]:
         out, self._done = self._done, []
         return out
 
-    def wait(self, timeout: float):
+    def wait(self, timeout: float) -> list[Reply]:
         raise RuntimeError("sync transport never has in-flight batches")
+
+    def expire_batch(self, batch_id: int) -> None:
+        pass
 
     def close(self) -> None:
         pass
 
 
-class _ProcessTransport:
-    """N worker processes fed from one shared request queue (pipes)."""
+@dataclass
+class _WorkerSlot:
+    """Supervision state for one worker position in the pool."""
 
-    def __init__(self, spec, n_workers: int, ctx_method: str | None = None,
-                 pad_to: int | None = None) -> None:
-        if n_workers < 1:
-            raise ValueError("process transport needs at least one worker")
-        methods = mp.get_all_start_methods()
-        method = ctx_method or ("fork" if "fork" in methods else "spawn")
-        ctx = mp.get_context(method)
-        self._req_q = ctx.Queue()
-        self._res_q = ctx.Queue()
-        self._workers = [
-            ctx.Process(
-                target=_worker_main,
-                args=(i, spec, self._req_q, self._res_q, pad_to),
-                daemon=True,
-                name=f"repro-serve-worker-{i}",
-            )
-            for i in range(n_workers)
-        ]
-        for w in self._workers:
-            w.start()
+    worker_id: int
+    proc: mp.process.BaseProcess | None = None
+    #: Deaths since the last successfully served batch.
+    failures: int = 0
+    #: Monotonic time the pending restart fires (None: no restart pending).
+    restart_at: float | None = None
+    died_at: float | None = None
+    last_seen: float = 0.0
+    #: True once the supervisor stopped restarting this slot.
+    gave_up: bool = False
+
+
+class _WorkerSupervisor:
+    """Detects dead workers, restarts them with backoff, tracks give-up.
+
+    Owns the worker processes for a transport; the transport supplies the
+    spawn callable (so supervisor logic is transport-agnostic).  Liveness
+    combines ``is_alive`` with the tagged rows workers post on the result
+    queue (heartbeats while idle, claims while busy) — ``note_seen``
+    timestamps both, and ``reap`` turns ``is_alive`` edges into restart
+    schedules.  A slot that dies ``max_consecutive_failures`` times without
+    serving a batch in between is abandoned; when every slot is abandoned
+    the supervisor reports ``degraded`` and the server finishes the run
+    inline.
+    """
+
+    def __init__(self, spawn, n_workers: int, config: SupervisionConfig,
+                 metrics: ServiceMetrics) -> None:
+        self._spawn = spawn
+        self._config = config
+        self._metrics = metrics
+        self._slots = [_WorkerSlot(worker_id=i) for i in range(n_workers)]
+
+    def start(self) -> None:
+        now = time.monotonic()
+        for slot in self._slots:
+            slot.proc = self._spawn(slot.worker_id)
+            slot.last_seen = now
 
     @property
     def n_workers(self) -> int:
-        return len(self._workers)
+        return len(self._slots)
 
-    def dispatch(self, batch_id: int, buffers: list[np.ndarray]) -> None:
-        self._req_q.put((batch_id, buffers))
+    @property
+    def degraded(self) -> bool:
+        return all(s.gave_up for s in self._slots)
 
-    def poll(self) -> list[tuple[int, int, list[np.ndarray], float]]:
-        out = []
-        while True:
-            try:
-                out.append(self._res_q.get_nowait())
-            except queue_mod.Empty:
-                return out
+    def alive_worker_ids(self) -> list[int]:
+        return [
+            s.worker_id for s in self._slots
+            if s.proc is not None and s.proc.is_alive()
+        ]
 
-    def wait(self, timeout: float = WORKER_TIMEOUT_S):
-        deadline = time.monotonic() + timeout
-        while True:
-            try:
-                return self._res_q.get(timeout=1.0)
-            except queue_mod.Empty:
-                if not any(w.is_alive() for w in self._workers):
-                    raise RuntimeError("all serve workers died") from None
-                if time.monotonic() > deadline:
-                    raise TimeoutError(
-                        f"no serve response within {timeout:.0f}s"
-                    ) from None
+    def note_seen(self, worker_id: int) -> None:
+        self._slots[worker_id].last_seen = time.monotonic()
+
+    def note_success(self, worker_id: int) -> None:
+        """A served batch resets the slot's consecutive-failure count."""
+        self._slots[worker_id].failures = 0
+
+    def reap(self) -> list[int]:
+        """One supervision pass; returns worker ids found dead *this* pass.
+
+        Newly dead workers get a restart scheduled ``backoff_base_s *
+        2**(failures-1)`` (capped) in the future, executed by a later pass;
+        each restart is counted and its detection-to-respawn latency
+        sampled into ``metrics.recovery_s``.
+        """
+        now = time.monotonic()
+        cfg = self._config
+        dead: list[int] = []
+        for slot in self._slots:
+            if slot.gave_up:
+                continue
+            if slot.proc is not None and not slot.proc.is_alive():
+                slot.proc.join(timeout=0)       # reap the zombie process
+                slot.proc = None
+                slot.failures += 1
+                slot.died_at = now
+                dead.append(slot.worker_id)
+                if slot.failures > cfg.max_consecutive_failures:
+                    slot.gave_up = True
+                    slot.restart_at = None
+                else:
+                    backoff = min(
+                        cfg.backoff_cap_s,
+                        cfg.backoff_base_s * 2.0 ** (slot.failures - 1),
+                    )
+                    slot.restart_at = now + backoff
+            elif (slot.proc is None and slot.restart_at is not None
+                  and now >= slot.restart_at):
+                slot.proc = self._spawn(slot.worker_id)
+                slot.restart_at = None
+                slot.last_seen = now
+                self._metrics.n_worker_restarts += 1
+                if slot.died_at is not None:
+                    self._metrics.recovery_s.append(now - slot.died_at)
+        if dead and self.degraded:
+            self._metrics.degraded = True
+        return dead
 
     def close(self) -> None:
-        for _ in self._workers:
+        for slot in self._slots:
+            proc, slot.proc = slot.proc, None
+            slot.gave_up = True
+            if proc is None:
+                continue
+            proc.join(timeout=10.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+
+class _WorkerTransportBase:
+    """Shared machinery of the ``process``/``shm`` transports.
+
+    Owns the queue pair, the :class:`_WorkerSupervisor`, and the tagged-row
+    pump that turns worker rows into :data:`Reply` items — including the
+    synthetic :class:`WorkerLost` replies for batches whose claiming worker
+    died.  Subclasses provide the worker entry point and may hook batch
+    encoding (shm slot leasing) and lease reclamation.
+    """
+
+    _worker_kind = "worker"
+
+    def __init__(self, spec, n_workers: int, ctx_method: str | None = None,
+                 pad_to: int | None = None, metrics: ServiceMetrics | None = None,
+                 fault_plan: FaultPlan | None = None,
+                 supervision: SupervisionConfig | None = None) -> None:
+        if n_workers < 1:
+            raise ValueError(f"{self._worker_kind} transport needs at least one worker")
+        methods = mp.get_all_start_methods()
+        method = ctx_method or ("fork" if "fork" in methods else "spawn")
+        self._ctx = mp.get_context(method)
+        self._spec = spec
+        self._pad_to = pad_to
+        self._fault_plan = fault_plan
+        self._metrics = metrics if metrics is not None else ServiceMetrics()
+        self._req_q = self._ctx.Queue()
+        self._res_q = self._ctx.Queue()
+        #: batch_id -> worker_id that posted the claim row (in-flight only).
+        self._claims: dict[int, int] = {}
+        self._closed = False
+        self._supervisor = _WorkerSupervisor(
+            self._spawn, n_workers, supervision or SupervisionConfig(),
+            self._metrics,
+        )
+        self._supervisor.start()
+
+    # ------------------------------------------------------- subclass hooks
+    def _worker_target(self):
+        raise NotImplementedError
+
+    def _worker_args(self, worker_id: int) -> tuple:
+        raise NotImplementedError
+
+    def _encode_batch(self, batch_id: int, buffers: list[np.ndarray]):
+        """What actually rides the request queue for this batch."""
+        return buffers
+
+    def _convert_payload(self, batch_id: int, payload):
+        """Turn a done-row payload into response buffers (or pass the exc)."""
+        return payload
+
+    def _on_claim_row(self, worker_id: int, batch_id: int) -> None:
+        pass
+
+    def _reclaim_batch(self, batch_id: int) -> None:
+        """Reclaim transport resources of a batch lost to a dead worker."""
+
+    def _on_worker_dead(self, worker_id: int) -> None:
+        pass
+
+    def _reclaim_all(self) -> None:
+        """Reclaim every outstanding transport resource (no live workers)."""
+
+    def _close_extra(self) -> None:
+        pass
+
+    # ------------------------------------------------------------- plumbing
+    def _spawn(self, worker_id: int) -> mp.process.BaseProcess:
+        proc = self._ctx.Process(
+            target=self._worker_target(),
+            args=self._worker_args(worker_id),
+            daemon=True,
+            name=f"repro-serve-{self._worker_kind}-{worker_id}",
+        )
+        proc.start()
+        return proc
+
+    @property
+    def n_workers(self) -> int:
+        return self._supervisor.n_workers
+
+    @property
+    def degraded(self) -> bool:
+        return self._supervisor.degraded
+
+    def dispatch(self, batch_id: int, buffers: list[np.ndarray]) -> None:
+        self._req_q.put((batch_id, self._encode_batch(batch_id, buffers)))
+
+    def expire_batch(self, batch_id: int) -> None:
+        """The server timed this batch out; release what can be released.
+
+        The claim attribution is kept: if the (possibly hung) worker later
+        dies while still holding the batch, the death is attributed and
+        reclaimed normally; if it eventually replies, the reply converts
+        and the server drops it as a stale duplicate.
+        """
+
+    def _handle_row(self, row) -> Reply | None:
+        tag, worker_id = row[0], row[1]
+        self._supervisor.note_seen(worker_id)
+        if tag == "hb":
+            return None
+        if tag == "claim":
+            batch_id = row[2]
+            self._claims[batch_id] = worker_id
+            self._on_claim_row(worker_id, batch_id)
+            return None
+        _tag, worker_id, batch_id, payload, busy_s = row
+        self._claims.pop(batch_id, None)
+        if not isinstance(payload, Exception):
+            self._supervisor.note_success(worker_id)
+        return (batch_id, worker_id, self._convert_payload(batch_id, payload), busy_s)
+
+    def _drain(self) -> list[Reply]:
+        out: list[Reply] = []
+        while True:
+            try:
+                row = self._res_q.get_nowait()
+            except queue_mod.Empty:
+                return out
+            reply = self._handle_row(row)
+            if reply is not None:
+                out.append(reply)
+
+    def _reap(self) -> list[Reply]:
+        """Supervision pass: convert worker deaths into WorkerLost replies."""
+        dead = self._supervisor.reap()
+        lost: list[Reply] = []
+        for worker_id in dead:
+            for batch_id in [b for b, w in self._claims.items() if w == worker_id]:
+                del self._claims[batch_id]
+                self._reclaim_batch(batch_id)
+                lost.append((
+                    batch_id, worker_id,
+                    WorkerLost(
+                        f"serve worker {worker_id} died holding batch {batch_id}"
+                    ),
+                    0.0,
+                ))
+            self._on_worker_dead(worker_id)
+        if dead and self._supervisor.degraded:
+            # No worker will ever run again: everything still leased to the
+            # transport (claimed or queued) is safe to take back.
+            self._reclaim_all()
+        return lost
+
+    def poll(self) -> list[Reply]:
+        return self._drain() + self._reap()
+
+    def wait(self, timeout: float) -> list[Reply]:
+        """Block up to ``timeout`` for replies; [] on timeout or degraded.
+
+        Unlike the pre-supervision protocol this never raises on worker
+        death — deaths come back as :class:`WorkerLost` replies and the
+        *server* decides (recover or raise) per its fault mode.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            replies = self.poll()
+            if replies:
+                return replies
+            if self._supervisor.degraded:
+                return []
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return []
+            try:
+                row = self._res_q.get(timeout=min(_WAIT_SLICE_S, remaining))
+            except queue_mod.Empty:
+                continue
+            reply = self._handle_row(row)
+            if reply is not None:
+                return [reply]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._supervisor.alive_worker_ids():
             self._req_q.put(None)
-        for w in self._workers:
-            w.join(timeout=10.0)
-        for w in self._workers:
-            if w.is_alive():
-                w.terminate()
-                w.join(timeout=5.0)
-        self._req_q.close()
-        self._res_q.close()
+        self._supervisor.close()
+        # All workers are gone.  Drain both queues: late done-rows still
+        # return their slot leases through _handle_row, and an empty
+        # request pipe is what lets join_thread() below terminate even when
+        # undelivered batches were buffered for dead workers.
+        while True:
+            try:
+                self._handle_row(self._res_q.get_nowait())
+            except queue_mod.Empty:
+                break
+        while True:
+            try:
+                self._req_q.get_nowait()
+            except queue_mod.Empty:
+                break
+        self._reclaim_all()
+        self._close_extra()
+        for q in (self._req_q, self._res_q):
+            q.close()
+            q.join_thread()
+
+
+class _ProcessTransport(_WorkerTransportBase):
+    """N worker processes fed from one shared request queue (pipes)."""
+
+    def _worker_target(self):
+        return _worker_main
+
+    def _worker_args(self, worker_id: int) -> tuple:
+        return (worker_id, self._spec, self._req_q, self._res_q, self._pad_to,
+                self._fault_plan)
 
 
 class SurrogateServer:
@@ -314,6 +697,16 @@ class SurrogateServer:
         the per-slot particle capacity (a bigger request falls back to the
         pickled queue path for that event, so these are performance knobs,
         not correctness limits).
+    fault_mode : ``"recover"`` (default) survives worker faults via the
+        in-flight registry + supervision; ``"raise"`` surfaces the first
+        fault as an exception (see :class:`~repro.serve.policies.FaultMode`).
+    fault_plan : scripted failure injection for the workers — a
+        :class:`~repro.serve.faults.FaultPlan`, its string form, or None to
+        read ``REPRO_SERVE_FAULTS`` from the environment.
+    supervision : :class:`SupervisionConfig` overriding restart backoff,
+        give-up threshold, and the per-batch timeout.
+    max_redispatch : lost-batch re-dispatch attempts before the remaining
+        events resolve inline on the main rank.
     """
 
     def __init__(
@@ -328,6 +721,10 @@ class SurrogateServer:
         ctx_method: str | None = None,
         shm_slots: int = 32,
         shm_slot_particles: int = 4096,
+        fault_mode: FaultMode | str = FaultMode.RECOVER,
+        fault_plan: FaultPlan | str | None = None,
+        supervision: SupervisionConfig | None = None,
+        max_redispatch: int = 2,
     ) -> None:
         if surrogate is None and spec is None:
             raise ValueError("need a surrogate or a SurrogateSpec")
@@ -343,23 +740,35 @@ class SurrogateServer:
         self._spec = spec
         self.shm_slots = shm_slots
         self.shm_slot_particles = shm_slot_particles
+        self._fault_mode = FaultMode.parse(fault_mode)
+        if fault_plan is None:
+            fault_plan = FaultPlan.from_env()
+        elif isinstance(fault_plan, str):
+            fault_plan = FaultPlan.parse(fault_plan)
+        self._fault_plan = fault_plan
+        self._supervision = supervision if supervision is not None else SupervisionConfig()
+        self._max_redispatch = int(max_redispatch)
         if transport == "sync":
             self._transport = _SyncTransport(
                 self.local_surrogate, self.metrics, pad_to
             )
         elif transport == "process":
             self._transport = _ProcessTransport(
-                self._worker_recipe(), n_workers, ctx_method, pad_to
+                self._worker_recipe(), n_workers, ctx_method=ctx_method,
+                pad_to=pad_to, metrics=self.metrics,
+                fault_plan=self._fault_plan, supervision=self._supervision,
             )
         elif transport == "shm":
             from repro.serve.shm import _ShmTransport
             from repro.serve.wire import request_nfloats
 
             self._transport = _ShmTransport(
-                self._worker_recipe(), n_workers, ctx_method, pad_to,
+                self._worker_recipe(), n_workers, ctx_method=ctx_method,
+                pad_to=pad_to,
                 n_slots=shm_slots,
                 slot_floats=request_nfloats(shm_slot_particles),
                 metrics=self.metrics,
+                fault_plan=self._fault_plan, supervision=self._supervision,
             )
             self.metrics.shm_n_slots = shm_slots
             self.metrics.shm_slot_bytes = request_nfloats(shm_slot_particles) * 8
@@ -370,6 +779,12 @@ class SurrogateServer:
         self._in_flight: set[int] = set()                # outstanding batch ids
         self._expected: dict[int, tuple[int, int]] = {}  # id -> (dispatch, return)
         self._completed: dict[int, ServeResponse] = {}
+        #: In-flight request registry: batch id -> the dispatched request
+        #: buffers, held until the batch's responses are absorbed so any
+        #: lost batch can be re-dispatched or resolved inline.
+        self._dispatched: dict[int, list[np.ndarray]] = {}
+        self._dispatch_wall: dict[int, float] = {}       # id -> monotonic dispatch time
+        self._redispatch_gen: dict[int, int] = {}        # id -> re-dispatch generation
         self._last_depth_sample_step: int | None = None
         self._closed = False
 
@@ -391,7 +806,13 @@ class SurrogateServer:
 
     @property
     def local_surrogate(self) -> SNSurrogate:
-        """An in-process surrogate (built lazily from the spec if needed)."""
+        """An in-process surrogate (built lazily from the spec if needed).
+
+        This is also the fault-recovery fallback: it is built from the
+        *same* recipe the workers build from, so inline recovery
+        predictions are bit-identical to what the lost worker would have
+        returned.
+        """
         if self._surrogate is None:
             self._surrogate = self._spec.build()
         return self._surrogate
@@ -404,6 +825,18 @@ class SurrogateServer:
     def n_outstanding(self) -> int:
         """Events submitted but not yet handed back by :meth:`collect`."""
         return len(self._expected)
+
+    @property
+    def fault_mode(self) -> FaultMode:
+        return self._fault_mode
+
+    @property
+    def degraded(self) -> bool:
+        """True once the worker pool is abandoned and service runs inline."""
+        return self._transport_degraded()
+
+    def _transport_degraded(self) -> bool:
+        return bool(getattr(self._transport, "degraded", False))
 
     # ---------------------------------------------------------------- submit
     def submit(
@@ -462,10 +895,19 @@ class SurrogateServer:
         for buffers in self.scheduler.due_batches(step):
             self._dispatch(buffers)
 
-    def _dispatch(self, buffers: list[np.ndarray]) -> None:
+    def _dispatch(self, buffers: list[np.ndarray], redispatch_gen: int = 0) -> None:
+        if self._transport_degraded():
+            # No live workers: the batch would sit in the request queue
+            # until its timeout; resolve it inline right away instead.
+            self._resolve_inline_fault(buffers, "service degraded: no live workers")
+            return
         batch_id = self._next_batch_id
         self._next_batch_id += 1
         self._in_flight.add(batch_id)
+        self._dispatched[batch_id] = buffers
+        self._dispatch_wall[batch_id] = time.monotonic()
+        if redispatch_gen:
+            self._redispatch_gen[batch_id] = redispatch_gen
         self._transport.dispatch(batch_id, buffers)
 
     # --------------------------------------------------------------- collect
@@ -476,15 +918,34 @@ class SurrogateServer:
         still running (the pool is genuinely contended) the call blocks
         until it lands and charges the wait to ``metrics.exposed_wait_s`` —
         the non-overlapped remainder the paper's ideal sizing drives to
-        zero.
+        zero.  Worker faults encountered on the way are recovered (or
+        raised, under ``fault_mode="raise"``).
         """
         self.tick(step)  # any request due back by now is past its deadline
         self._absorb(self._transport.poll())
+        last_progress = time.monotonic()
         while self._missing_due(step):
+            self._check_timeouts()
+            if not self._missing_due(step):
+                break
+            if self._transport_degraded():
+                self._recover_all_in_flight("service degraded: no live workers")
+                if self._missing_due(step):
+                    raise RuntimeError(
+                        "due serve events unrecoverable: service degraded and "
+                        "inline recovery did not produce them"
+                    )
+                break
             t0 = time.perf_counter()
-            item = self._transport.wait(WORKER_TIMEOUT_S)
+            replies = self._transport.wait(self._wait_slice())
             self.metrics.exposed_wait_s += time.perf_counter() - t0
-            self._absorb([item])
+            if replies:
+                self._absorb(replies)
+                last_progress = time.monotonic()
+            elif time.monotonic() - last_progress > WORKER_TIMEOUT_S:
+                raise TimeoutError(
+                    f"no serve progress within {WORKER_TIMEOUT_S:.0f}s"
+                )
         out = []
         for eid in sorted(self._completed.keys()):
             dispatch_step, return_step = self._expected[eid]
@@ -499,8 +960,22 @@ class SurrogateServer:
         for buffers in self.scheduler.flush_all(step=0):
             self._dispatch(buffers)
         self._absorb(self._transport.poll())
+        last_progress = time.monotonic()
         while self._in_flight:
-            self._absorb([self._transport.wait(WORKER_TIMEOUT_S)])
+            self._check_timeouts()
+            if not self._in_flight:
+                break
+            if self._transport_degraded():
+                self._recover_all_in_flight("service degraded: no live workers")
+                break
+            replies = self._transport.wait(self._wait_slice())
+            if replies:
+                self._absorb(replies)
+                last_progress = time.monotonic()
+            elif time.monotonic() - last_progress > WORKER_TIMEOUT_S:
+                raise TimeoutError(
+                    f"no serve progress within {WORKER_TIMEOUT_S:.0f}s"
+                )
         out = []
         for eid in sorted(self._completed.keys()):
             dispatch_step, return_step = self._expected[eid]
@@ -511,6 +986,11 @@ class SurrogateServer:
             self.metrics.record_completion(dispatch_step, return_step)
         return out
 
+    def _wait_slice(self) -> float:
+        """Longest single transport wait — short enough that per-batch
+        timeouts are checked several times per timeout window."""
+        return max(0.05, min(1.0, self._supervision.batch_timeout_s / 4.0))
+
     def _missing_due(self, step: int) -> bool:
         """A due event is neither completed nor pending — it is in flight."""
         for eid, (_d, return_step) in self._expected.items():
@@ -518,22 +998,146 @@ class SurrogateServer:
                 return True
         return False
 
-    def _absorb(self, items) -> None:
-        for batch_id, worker_id, payload, busy_s in items:
+    # ------------------------------------------------------- fault recovery
+    def _event_pending(self, event_id: int) -> bool:
+        return event_id in self._expected and event_id not in self._completed
+
+    def _retire_batch(self, batch_id: int) -> None:
+        self._in_flight.discard(batch_id)
+        self._dispatched.pop(batch_id, None)
+        self._dispatch_wall.pop(batch_id, None)
+        self._redispatch_gen.pop(batch_id, None)
+
+    def _check_timeouts(self) -> None:
+        """Expire batches past the per-batch deadline and recover them."""
+        if not self._in_flight:
+            return
+        timeout = self._supervision.batch_timeout_s
+        now = time.monotonic()
+        expired = [
+            bid for bid in sorted(self._in_flight)
+            if now - self._dispatch_wall.get(bid, now) > timeout
+        ]
+        for bid in expired:
+            self.metrics.n_batch_timeouts += 1
+            if self._fault_mode is FaultMode.RAISE:
+                self._retire_batch(bid)
+                raise TimeoutError(
+                    f"serve batch {bid} produced no response within {timeout:.0f}s"
+                )
+            self._transport.expire_batch(bid)
+            self._recover_batch(
+                bid, redispatch=True,
+                cause=f"batch {bid} timed out after {timeout:.0f}s",
+            )
+
+    def _recover_batch(self, batch_id: int, redispatch: bool, cause: str) -> None:
+        """Re-deliver a lost batch's still-pending events.
+
+        Re-dispatch re-sends the *original* request buffers, so the
+        per-event RNG (seeded by dispatch step, not wall time) and hence the
+        prediction bytes are unchanged; events past ``max_redispatch``
+        attempts — or worker-independent failures — resolve inline.
+        """
+        buffers = self._dispatched.get(batch_id, [])
+        generation = self._redispatch_gen.get(batch_id, 0)
+        self._retire_batch(batch_id)
+        pending = [b for b in buffers if self._event_pending(int(b[2]))]
+        if not pending:
+            return
+        can_redispatch = (
+            redispatch
+            and generation < self._max_redispatch
+            and self.n_workers > 0
+            and not self._transport_degraded()
+        )
+        if can_redispatch:
+            self.metrics.n_redispatch += 1
+            self._dispatch(pending, redispatch_gen=generation + 1)
+        else:
+            self._resolve_inline_fault(pending, cause)
+
+    def _recover_all_in_flight(self, cause: str) -> None:
+        for batch_id in sorted(self._in_flight):
+            self._recover_batch(batch_id, redispatch=False, cause=cause)
+
+    def _resolve_inline_fault(self, buffers: list[np.ndarray], cause: str) -> None:
+        """Serve request buffers on the main rank — the recovery of last
+        resort, bit-identical because :attr:`local_surrogate` is built from
+        the same recipe the workers use."""
+        t0 = time.perf_counter()
+        try:
+            responses = predict_batch_buffers(
+                self.local_surrogate, buffers, pad_to=self.scheduler.pad_to
+            )
+        except Exception as exc:
+            raise RuntimeError(
+                f"serve worker fault ({cause}) could not be recovered inline"
+            ) from exc
+        self.metrics.inline_predict_s += time.perf_counter() - t0
+        self.metrics.n_fault_oracle += len(buffers)
+        for buf in responses:
+            self._store_response(buf)
+
+    def _absorb(self, replies) -> None:
+        for batch_id, worker_id, payload, busy_s in replies:
+            if batch_id not in self._in_flight:
+                # Stale duplicate: a hung worker finally answered a batch
+                # already recovered (idempotent — the transport has freed
+                # its resources; the events were delivered elsewhere).
+                continue
+            if isinstance(payload, WorkerLost):
+                if self._fault_mode is FaultMode.RAISE:
+                    self._retire_batch(batch_id)
+                    raise RuntimeError(str(payload)) from None
+                self._recover_batch(batch_id, redispatch=True, cause=str(payload))
+                continue
             if isinstance(payload, Exception):
-                raise RuntimeError(
-                    f"serve worker {worker_id} failed on batch {batch_id}"
-                ) from payload
-            self._in_flight.discard(batch_id)
+                self.metrics.n_worker_errors += 1
+                if self._fault_mode is FaultMode.RAISE:
+                    self._retire_batch(batch_id)
+                    raise RuntimeError(
+                        f"serve worker {worker_id} failed on batch {batch_id}"
+                    ) from payload
+                # The worker is alive and shipped a predict failure: the
+                # fault is request-dependent, so a retry on another worker
+                # would hit the same bug — go straight to inline recovery.
+                self._recover_batch(
+                    batch_id, redispatch=False,
+                    cause=f"worker {worker_id} predict error: {payload!r}",
+                )
+                continue
             if worker_id >= 0:
                 self.metrics.add_worker_busy(worker_id, busy_s)
+            corrupt: WireFormatError | None = None
             for buf in payload:
-                self._store_response(buf)
+                try:
+                    self._store_response(buf)
+                except WireFormatError as exc:
+                    corrupt = exc
+            if corrupt is None:
+                self._retire_batch(batch_id)
+            elif self._fault_mode is FaultMode.RAISE:
+                self._retire_batch(batch_id)
+                raise RuntimeError(
+                    f"serve worker {worker_id} returned a corrupt response "
+                    f"for batch {batch_id}"
+                ) from corrupt
+            else:
+                # A torn response cannot name its event: recover whichever
+                # of the batch's events the good buffers did not cover.
+                self._recover_batch(
+                    batch_id, redispatch=True,
+                    cause=f"corrupt response from worker {worker_id}",
+                )
 
     def _store_response(self, buf: np.ndarray) -> None:
         response = ServeResponse.from_buffer(buf)
+        eid = response.event_id
+        if eid not in self._expected or eid in self._completed:
+            return  # stale duplicate from a re-dispatched or expired batch
         self.metrics.bytes_out += int(buf.nbytes)
-        self._completed[response.event_id] = response
+        self._completed[eid] = response
 
     # ----------------------------------------------------------------- close
     def close(self) -> None:
@@ -552,7 +1156,10 @@ class SurrogateServer:
     def __del__(self) -> None:
         try:
             self.close()
-        except Exception:
+        except (OSError, ValueError, AttributeError, RuntimeError):
+            # Interpreter teardown: queues, processes, and module globals
+            # may already be half-collected; close() during normal
+            # operation (__exit__, explicit) still surfaces everything.
             pass
 
     def metrics_dict(self) -> dict:

@@ -28,11 +28,30 @@ slot is in flight) falls back to the pickled-queue path of the ``process``
 transport for that one event, counted in
 :attr:`~repro.serve.metrics.ServiceMetrics.n_shm_fallback` — correctness
 never depends on the ring being big enough.
+
+Lease safety under faults
+-------------------------
+
+A slot leased to an in-flight batch has three ways home, and every one of
+them must be crash-safe (the ``lease-pairing`` lint rule checks the
+acquire/release pairing statically):
+
+* **done row** — the normal path: :meth:`_ShmTransport._convert_payload`
+  frees the batch's leases on success *and* failure edges (``finally``).
+* **dead worker** — the supervisor attributes claimed batches to the dead
+  process; its leases are reclaimed immediately (a dead worker cannot
+  touch the ring again), counted in ``metrics.n_slots_reclaimed``.
+* **expired batch** — a *timed-out* batch's worker may be hung, not dead,
+  and may still read/write the slots.  The leases are parked in a zombie
+  registry instead of freed (freeing would race the hung worker's
+  in-place response write into a re-leased slot); they return to the free
+  stack only on proof the holder is done with them — its late done row,
+  a *newer* claim row from the same (strictly serial) worker, its death,
+  or transport close after every worker has exited.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import queue as queue_mod
 import time
 from multiprocessing import shared_memory
@@ -40,25 +59,23 @@ from typing import TYPE_CHECKING, Any, Union
 
 import numpy as np
 
-from repro.serve.wire import ServeRequest, ServeResponse
+from repro.serve.faults import FaultInjector, FaultPlan
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.server import (
+    HEARTBEAT_S,
+    Reply,
+    SupervisionConfig,
+    _WorkerTransportBase,
+)
+from repro.serve.wire import ServeRequest, ServeResponse, WireFormatError
 
-if TYPE_CHECKING:  # annotation-only: a top-level import would be a cycle
-    from repro.serve.metrics import ServiceMetrics
+if TYPE_CHECKING:  # annotation-only imports
     from repro.serve.server import SurrogateSpec
     from repro.surrogate.model import SNSurrogate
 
 #: A control entry: ``(SLOT, index, nfloats)`` for ring-resident payloads,
 #: ``(INLINE, buffer)`` for queue-pickled fallbacks.
 Entry = Union[tuple[int, int, int], tuple[int, np.ndarray]]
-
-#: A worker reply after :meth:`_ShmTransport._convert`:
-#: ``(batch_id, worker_id, buffers-or-exception, busy_seconds)``.
-Reply = tuple[int, int, "list[np.ndarray] | Exception", float]
-
-#: Seconds wait() tolerates before declaring the workers dead (mirrors
-#: :data:`repro.serve.server.WORKER_TIMEOUT_S`; kept local to avoid an
-#: import cycle).
-_WORKER_TIMEOUT_S = 120.0
 
 #: Control-entry tags: payload lives in a ring slot / rides the queue.
 SLOT = 0
@@ -114,11 +131,29 @@ class SharedMemoryRing:
         return self.n_slots * self.slot_floats * 8
 
     def slot(self, index: int, nfloats: int | None = None) -> np.ndarray:
-        """A live view of slot ``index`` (optionally length-trimmed)."""
+        """A live view of slot ``index`` (optionally length-trimmed).
+
+        Control tuples cross process boundaries, so both coordinates are
+        validated before any memory is touched: an out-of-range index or a
+        length exceeding the slot capacity raises
+        :class:`~repro.serve.wire.WireFormatError` — a corrupt control
+        entry is a recoverable transport fault, not an IndexError deep in
+        numpy.
+        """
         if self._arr is None:
             raise ValueError("ring is closed")
-        row = self._arr[index]
-        return row if nfloats is None else row[:nfloats]
+        if not 0 <= int(index) < self.n_slots:
+            raise WireFormatError(
+                f"shm slot index {index} outside ring of {self.n_slots} slots"
+            )
+        row = self._arr[int(index)]
+        if nfloats is None:
+            return row
+        if not 0 < int(nfloats) <= self.slot_floats:
+            raise WireFormatError(
+                f"shm slot payload length {nfloats} not in (0, {self.slot_floats}]"
+            )
+        return row[: int(nfloats)]
 
     def write(self, index: int, buf: np.ndarray) -> int:
         """Memmove an encoded wire buffer into a slot; returns floats used."""
@@ -201,38 +236,64 @@ def _shm_worker_main(
     req_q: Any,
     res_q: Any,
     pad_to: int | None,
+    fault_plan: FaultPlan | None = None,
 ) -> None:
-    """Pool-node worker: attach the ring, build the surrogate, serve."""
+    """Pool-node worker: attach the ring, build the surrogate, serve.
+
+    Speaks the same tagged-row protocol as
+    :func:`repro.serve.server._worker_main` (heartbeat / claim / done), and
+    honours the same :class:`~repro.serve.faults.FaultPlan` script —
+    ``corrupt`` tears the wire magic of the first response *in its ring
+    slot* when the response is slot-resident.
+    """
     from repro.serve.server import _resolve_surrogate  # import cycle at top level
 
+    injector = FaultInjector(fault_plan or FaultPlan(), worker_id)
     ring = SharedMemoryRing(n_slots, slot_floats, name=ring_name)
     try:
         surrogate = _resolve_surrogate(spec)
         while True:
-            item = req_q.get()
+            try:
+                item = req_q.get(timeout=HEARTBEAT_S)
+            except queue_mod.Empty:
+                res_q.put(("hb", worker_id))
+                continue
             if item is None:
                 break
             batch_id, entries = item
+            res_q.put(("claim", worker_id, batch_id))
+            injector.on_claim()
             t0 = time.perf_counter()
             try:
+                injector.on_predict()
                 responses = serve_batch_in_place(surrogate, ring, entries, pad_to)
             except Exception as exc:  # ship the failure instead of dying silently
-                res_q.put((batch_id, worker_id, exc, 0.0))
+                res_q.put(("done", worker_id, batch_id, exc, 0.0))
                 continue
-            res_q.put((batch_id, worker_id, responses, time.perf_counter() - t0))
+            if injector.corrupts_response() and responses:
+                entry = responses[0]
+                if entry[0] == SLOT:
+                    ring.slot(entry[1])[0] = -1.0       # tear the wire magic
+                else:
+                    entry[1][0] = -1.0
+            if injector.drops_response():
+                continue
+            res_q.put(
+                ("done", worker_id, batch_id, responses, time.perf_counter() - t0)
+            )
     finally:
         ring.close()
 
 
-class _ShmTransport:
+class _ShmTransport(_WorkerTransportBase):
     """N workers reading/writing ring slots; queues carry only slot indices.
 
-    Implements the same transport protocol as ``_ProcessTransport``
-    (``dispatch`` / ``poll`` / ``wait`` / ``close`` returning ``(batch_id,
-    worker_id, [response buffers], busy_s)`` items), so
-    :class:`~repro.serve.server.SurrogateServer` cannot tell them apart —
-    only the bytes move differently.
+    Extends :class:`~repro.serve.server._WorkerTransportBase` (queues,
+    supervisor, tagged-row pump) with the slot-lease life cycle — see the
+    module docstring's fault section for the three ways a lease comes home.
     """
+
+    _worker_kind = "shm-worker"
 
     def __init__(
         self,
@@ -243,44 +304,40 @@ class _ShmTransport:
         n_slots: int = 32,
         slot_floats: int = 0,
         metrics: ServiceMetrics | None = None,
+        fault_plan: FaultPlan | None = None,
+        supervision: SupervisionConfig | None = None,
     ) -> None:
-        if n_workers < 1:
-            raise ValueError("shm transport needs at least one worker")
         if slot_floats < 1:
             raise ValueError("shm transport needs a positive slot size")
-        methods = mp.get_all_start_methods()
-        method = ctx_method or ("fork" if "fork" in methods else "spawn")
-        ctx = mp.get_context(method)
+        # The ring and lease books exist before super().__init__ spawns the
+        # workers: _worker_args reads the ring name.
         self._ring = SharedMemoryRing(n_slots, slot_floats)
         self._free = list(range(n_slots - 1, -1, -1))   # stack of free slots
         self._batch_slots: dict[int, list[int]] = {}    # in-flight slot leases
-        self._metrics = metrics
-        self._req_q = ctx.Queue()
-        self._res_q = ctx.Queue()
-        self._workers = [
-            ctx.Process(
-                target=_shm_worker_main,
-                args=(
-                    i, spec, self._ring.name, n_slots, slot_floats,
-                    self._req_q, self._res_q, pad_to,
-                ),
-                daemon=True,
-                name=f"repro-serve-shm-worker-{i}",
-            )
-            for i in range(n_workers)
-        ]
-        for w in self._workers:
-            w.start()
+        #: Leases of expired (timed-out) batches, parked until their holder
+        #: is provably done: batch_id -> (claiming worker or None, slots).
+        self._zombies: dict[int, tuple[int | None, list[int]]] = {}
+        super().__init__(
+            spec, n_workers, ctx_method=ctx_method, pad_to=pad_to,
+            metrics=metrics, fault_plan=fault_plan, supervision=supervision,
+        )
 
-    @property
-    def n_workers(self) -> int:
-        return len(self._workers)
+    def _worker_target(self) -> Any:
+        return _shm_worker_main
+
+    def _worker_args(self, worker_id: int) -> tuple:
+        return (
+            worker_id, self._spec, self._ring.name, self._ring.n_slots,
+            self._ring.slot_floats, self._req_q, self._res_q, self._pad_to,
+            self._fault_plan,
+        )
 
     @property
     def n_free_slots(self) -> int:
         return len(self._free)
 
-    def dispatch(self, batch_id: int, buffers: list[np.ndarray]) -> None:
+    # ------------------------------------------------------------ dispatch
+    def _encode_batch(self, batch_id: int, buffers: list[np.ndarray]) -> list[Entry]:
         entries: list[Entry] = []
         leased: list[int] = []
         for buf in buffers:
@@ -289,30 +346,32 @@ class _ShmTransport:
                 self._ring.write(index, buf)
                 leased.append(index)
                 entries.append((SLOT, index, buf.size))
-                if self._metrics is not None:
-                    self._metrics.n_shm_slot += 1
+                self._metrics.n_shm_slot += 1
             else:
                 # Oversize request or exhausted ring: this one event rides
                 # the queue (pickled), like the process transport.
-                if self._metrics is not None:
-                    self._metrics.n_shm_fallback += 1
+                self._metrics.n_shm_fallback += 1
                 entries.append((INLINE, buf))
         self._batch_slots[batch_id] = leased
-        self._req_q.put((batch_id, entries))
+        return entries
 
-    def _convert(self, item: tuple[int, int, Any, float]) -> Reply:
-        """Turn a worker reply into the server's (id, wid, buffers, s) shape.
+    # ------------------------------------------------------------- replies
+    def _convert_payload(
+        self, batch_id: int, payload: Any
+    ) -> "list[np.ndarray] | Exception":
+        """Memmove slot-resident responses out of the ring; free the leases.
 
-        Slot-resident responses are memmoved out of the ring (the response
-        object outlives the slot's next lease) and every slot the batch
-        leased is returned to the free stack — also on the failure path, so
-        a worker exception cannot leak slots.
+        Runs for normal *and* late (previously expired) done rows — the
+        lease lookup falls back to the zombie registry — and releases on
+        success and failure edges alike, so a worker exception cannot leak
+        slots.
         """
-        batch_id, worker_id, payload, busy_s = item
-        leased = self._batch_slots.pop(batch_id, [])
+        leased = self._batch_slots.pop(batch_id, None)
+        if leased is None:
+            leased = self._zombies.pop(batch_id, (None, []))[1]
         try:
             if isinstance(payload, Exception):
-                return (batch_id, worker_id, payload, busy_s)
+                return payload
             buffers: list[np.ndarray] = []
             for entry in payload:
                 if entry[0] == SLOT:
@@ -320,40 +379,84 @@ class _ShmTransport:
                     buffers.append(np.array(self._ring.slot(index, nfloats)))
                 else:
                     buffers.append(entry[1])
-            return (batch_id, worker_id, buffers, busy_s)
+            return buffers
         finally:
             self._free.extend(leased)
 
-    def poll(self) -> list[Reply]:
-        out: list[Reply] = []
-        while True:
-            try:
-                out.append(self._convert(self._res_q.get_nowait()))
-            except queue_mod.Empty:
-                return out
+    # ------------------------------------------------------ lease recovery
+    def expire_batch(self, batch_id: int) -> None:
+        """Park a timed-out batch's leases as zombies.
 
-    def wait(self, timeout: float = _WORKER_TIMEOUT_S) -> Reply:
-        deadline = time.monotonic() + timeout
-        while True:
-            try:
-                return self._convert(self._res_q.get(timeout=1.0))
-            except queue_mod.Empty:
-                if not any(w.is_alive() for w in self._workers):
-                    raise RuntimeError("all serve workers died") from None
-                if time.monotonic() > deadline:
-                    raise TimeoutError(
-                        f"no serve response within {timeout:.0f}s"
-                    ) from None
+        The holder may be a *hung* worker that will still write its
+        in-place response into these slots; returning them to the free
+        stack now would hand a worker's output buffer to a new request.
+        """
+        leased = self._batch_slots.pop(batch_id, [])
+        if leased:
+            self._zombies[batch_id] = (self._claims.get(batch_id), leased)
 
-    def close(self) -> None:
-        for _ in self._workers:
-            self._req_q.put(None)
-        for w in self._workers:
-            w.join(timeout=10.0)
-        for w in self._workers:
-            if w.is_alive():
-                w.terminate()
-                w.join(timeout=5.0)
-        self._req_q.close()
-        self._res_q.close()
+    def _on_claim_row(self, worker_id: int, batch_id: int) -> None:
+        # Workers are strictly serial: a fresh claim proves this worker is
+        # done touching every batch it claimed earlier, so any zombie
+        # leases attributed to it are safe to free.  The claim also
+        # attributes a previously unclaimed zombie batch to its holder.
+        if batch_id in self._zombies:
+            self._zombies[batch_id] = (worker_id, self._zombies[batch_id][1])
+        stale = [
+            b for b, (w, _) in self._zombies.items()
+            if w == worker_id and b != batch_id
+        ]
+        freed: list[int] = []
+        try:
+            for b in stale:
+                freed.extend(self._zombies.pop(b)[1])
+        finally:
+            self._free.extend(freed)
+
+    def _reclaim_batch(self, batch_id: int) -> None:
+        # The claiming worker died: it can never touch the ring again, so
+        # the batch's leases return to the free stack immediately.
+        freed: list[int] = []
+        try:
+            freed.extend(self._batch_slots.pop(batch_id, []))
+        finally:
+            self._free.extend(freed)
+            self._metrics.n_slots_reclaimed += len(freed)
+
+    def _on_worker_dead(self, worker_id: int) -> None:
+        stale = [b for b, (w, _) in self._zombies.items() if w == worker_id]
+        freed: list[int] = []
+        try:
+            for b in stale:
+                freed.extend(self._zombies.pop(b)[1])
+        finally:
+            self._free.extend(freed)
+            self._metrics.n_slots_reclaimed += len(freed)
+
+    def _reclaim_all(self) -> None:
+        # No live workers remain (degraded, or close after join): every
+        # outstanding lease — in-flight and zombie — is safe to take back.
+        freed: list[int] = []
+        try:
+            for leased in self._batch_slots.values():
+                freed.extend(leased)
+            self._batch_slots.clear()
+            for _w, leased in self._zombies.values():
+                freed.extend(leased)
+            self._zombies.clear()
+        finally:
+            self._free.extend(freed)
+            self._metrics.n_slots_reclaimed += len(freed)
+
+    def _close_extra(self) -> None:
         self._ring.close()
+
+
+__all__ = [
+    "INLINE",
+    "SLOT",
+    "Entry",
+    "Reply",
+    "SharedMemoryRing",
+    "serve_batch_in_place",
+]

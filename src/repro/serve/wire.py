@@ -51,6 +51,17 @@ _REQ_HEADER = 12
 _RES_HEADER = 6
 
 
+class WireFormatError(ValueError):
+    """A serve wire buffer failed validation before decoding.
+
+    Raised on truncated buffers, wrong magic/version, non-integral or
+    negative header counts, and payload-length mismatches — one typed
+    error the fault-recovery paths can catch (a torn response is a
+    recoverable transport fault, a numpy ``IndexError`` deep inside
+    ``ParticleSet.unpack`` is not).
+    """
+
+
 def request_nfloats(n_particles: int) -> int:
     """Float64 slots one encoded request for ``n_particles`` occupies."""
     return _REQ_HEADER + int(n_particles) * packed_width()
@@ -126,7 +137,7 @@ class ServeRequest:
     def from_buffer(cls, buf: np.ndarray) -> "ServeRequest":
         buf = np.asarray(buf, dtype=np.float64).ravel()
         _check_header(buf, REQUEST_MAGIC, _REQ_HEADER, "request")
-        n, w = int(buf[10]), int(buf[11])
+        n, w = _header_counts(buf, 10, 11, "request")
         _check_payload(buf, _REQ_HEADER, n, w, "request")
         region = ParticleSet.unpack(buf[_REQ_HEADER:].reshape(n, w))
         return cls(
@@ -182,7 +193,7 @@ class ServeResponse:
     def from_buffer(cls, buf: np.ndarray) -> "ServeResponse":
         buf = np.asarray(buf, dtype=np.float64).ravel()
         _check_header(buf, RESPONSE_MAGIC, _RES_HEADER, "response")
-        n, w = int(buf[4]), int(buf[5])
+        n, w = _header_counts(buf, 4, 5, "response")
         _check_payload(buf, _RES_HEADER, n, w, "response")
         particles = ParticleSet.unpack(buf[_RES_HEADER:].reshape(n, w))
         return cls(event_id=int(buf[2]), return_step=int(buf[3]),
@@ -198,21 +209,40 @@ def event_rng(base_seed: int, star_pid: int, dispatch_step: int) -> np.random.Ge
 
 def _check_header(buf: np.ndarray, magic: float, header: int, kind: str) -> None:
     if len(buf) < header:
-        raise ValueError(f"serve {kind} buffer too short for its header")
+        raise WireFormatError(f"serve {kind} buffer too short for its header")
     if buf[0] != magic:
-        raise ValueError(f"serve {kind} buffer has wrong magic {buf[0]!r}")
-    if int(buf[1]) != WIRE_VERSION:
-        raise ValueError(
-            f"serve {kind} wire version {int(buf[1])} != {WIRE_VERSION}"
+        raise WireFormatError(f"serve {kind} buffer has wrong magic {buf[0]!r}")
+    if not np.isfinite(buf[1]) or int(buf[1]) != WIRE_VERSION:
+        raise WireFormatError(
+            f"serve {kind} wire version {buf[1]!r} != {WIRE_VERSION}"
         )
+
+
+def _header_counts(buf: np.ndarray, n_slot: int, w_slot: int, kind: str) -> tuple[int, int]:
+    """Decode (n_particles, packed_width) from a validated header.
+
+    A corrupt header can hold anything a float64 can (NaN, inf, negative,
+    fractional); every such value must surface as :class:`WireFormatError`
+    before the payload length is trusted.
+    """
+    n_f, w_f = float(buf[n_slot]), float(buf[w_slot])
+    if not (np.isfinite(n_f) and np.isfinite(w_f)):
+        raise WireFormatError(f"serve {kind} header counts are not finite")
+    n, w = int(n_f), int(w_f)
+    if n != n_f or w != w_f or n < 0 or w < 1:
+        raise WireFormatError(
+            f"serve {kind} header counts ({n_f!r}, {w_f!r}) are not valid "
+            "(count, width) integers"
+        )
+    return n, w
 
 
 def _check_payload(buf: np.ndarray, header: int, n: int, w: int, kind: str) -> None:
     if w != packed_width():
-        raise ValueError(
+        raise WireFormatError(
             f"serve {kind} payload width {w} != registry width {packed_width()}"
         )
     if len(buf) != header + n * w:
-        raise ValueError(
+        raise WireFormatError(
             f"serve {kind} buffer length {len(buf)} != header + {n}x{w} payload"
         )

@@ -102,3 +102,69 @@ def test_empty_set_roundtrip(tmp_path):
     back, header = load_snapshot(p)
     assert len(back) == 0
     assert header["n_particles"] == 0
+
+
+# ---------------------------------------------------------------- atomicity
+def test_save_appends_npz_returns_path_and_leaves_no_temp(plummer_ps, tmp_path):
+    out = save_snapshot(plummer_ps, tmp_path / "ckpt")
+    assert out == tmp_path / "ckpt.npz"
+    assert out.exists() and not (tmp_path / "ckpt").exists()
+    assert [f for f in tmp_path.iterdir() if f.name.startswith(".")] == []
+
+
+def _save_then_die(ps_arrays, path):
+    """Child target: SIGKILL itself after writing the temp bytes but
+    *before* the rename — the exact torn-writer window atomicity closes."""
+    import os
+    import signal
+
+    from repro.fdps import io as io_mod
+
+    real_fsync = os.fsync
+
+    def fsync_then_die(fd):
+        real_fsync(fd)
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    os.fsync = fsync_then_die
+    ps = ParticleSet.from_arrays(**ps_arrays)
+    io_mod.save_snapshot(ps, path, time=9.9, step=99)
+
+
+def test_writer_killed_mid_save_leaves_previous_checkpoint_intact(
+    plummer_ps, tmp_path
+):
+    import multiprocessing as mp
+    import signal
+
+    final = save_snapshot(plummer_ps, tmp_path / "ckpt", time=1.0, step=5)
+    arrays = {
+        "pos": plummer_ps.pos, "mass": plummer_ps.mass,
+        "pid": plummer_ps.pid, "ptype": plummer_ps.ptype,
+    }
+    ctx = mp.get_context("fork")
+    proc = ctx.Process(target=_save_then_die, args=(arrays, str(final)))
+    proc.start()
+    proc.join(30)
+    assert proc.exitcode == -signal.SIGKILL
+    back, header = load_snapshot(final)       # old checkpoint, not a torn file
+    assert header["step"] == 5 and header["time"] == 1.0
+    for name, arr in plummer_ps.data.items():
+        assert np.array_equal(back.data[name], arr), name
+
+
+def test_failed_save_cleans_temp_and_keeps_previous(
+    plummer_ps, tmp_path, monkeypatch
+):
+    final = save_snapshot(plummer_ps, tmp_path / "ckpt", step=1)
+
+    def boom(fh, **payload):
+        fh.write(b"partial garbage")
+        raise RuntimeError("disk full")
+
+    monkeypatch.setattr("repro.fdps.io.np.savez_compressed", boom)
+    with pytest.raises(RuntimeError, match="disk full"):
+        save_snapshot(plummer_ps, tmp_path / "ckpt", step=2)
+    _, header = load_snapshot(final)
+    assert header["step"] == 1
+    assert [f for f in tmp_path.iterdir() if f.name.startswith(".")] == []

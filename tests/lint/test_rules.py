@@ -380,3 +380,149 @@ def test_wire_symmetry_accepts_symmetric_header_and_check_helper():
         select=["wire-symmetry"],
     )
     assert findings == []
+
+
+def test_wire_symmetry_credits_header_counts_helper_slots():
+    findings = _lint(
+        """
+        def _check_header(buf):
+            assert buf[0] == 7.0 and buf[1] == 1.0
+
+        def _header_counts(buf, n_slot, w_slot):
+            return int(buf[n_slot]), int(buf[w_slot])
+
+        class Packet:
+            def encode_into(self, out):
+                out[0] = 7.0
+                out[1] = 1.0
+                out[2] = 5.0
+                out[3] = 4.0
+                return 4
+
+            @classmethod
+            def from_buffer(cls, buf):
+                _check_header(buf)
+                n, w = _header_counts(buf, 2, 3)
+                return cls(n, w)
+        """,
+        module="repro.serve.mywire",
+        select=["wire-symmetry"],
+    )
+    assert findings == []
+
+
+# ------------------------------------------------- lease-pairing: zombies
+def test_lease_pairing_accepts_zombie_handoff_and_takeover():
+    findings = _lint(
+        """
+        class T:
+            def expire_batch(self, batch_id):
+                leased = self._batch_slots.pop(batch_id, [])
+                if leased:
+                    self._zombies[batch_id] = leased
+
+            def on_done_late(self, batch_id):
+                leased = self._zombies.pop(batch_id, [])
+                try:
+                    return self.read(leased)
+                finally:
+                    self._free.extend(leased)
+        """,
+        module="repro.serve.shm",
+        select=["lease-pairing"],
+    )
+    assert findings == []
+
+
+def test_lease_pairing_flags_zombie_takeover_without_release():
+    findings = _lint(
+        """
+        class T:
+            def reap(self, batch_id):
+                leased = self._zombies.pop(batch_id, [])
+                return len(leased)
+        """,
+        module="repro.serve.shm",
+        select=["lease-pairing"],
+    )
+    assert _rules(findings) == ["lease-pairing"]
+
+
+# ------------------------------------------------------------ silent-except
+def test_silent_except_flags_bare_and_broad_pass():
+    findings = _lint(
+        """
+        def close(q):
+            try:
+                q.close()
+            except Exception:
+                pass
+
+        def close2(q):
+            try:
+                q.close()
+            except:
+                pass
+        """,
+        module="repro.serve.server",
+        select=["silent-except"],
+    )
+    assert _rules(findings) == ["silent-except", "silent-except"]
+    assert "swallows" in findings[0].message
+
+
+def test_silent_except_accepts_narrow_tuple():
+    findings = _lint(
+        """
+        def __del__(self):
+            try:
+                self.close()
+            except (OSError, ValueError, AttributeError, RuntimeError):
+                pass
+        """,
+        module="repro.serve.server",
+        select=["silent-except"],
+    )
+    assert findings == []
+
+
+def test_silent_except_accepts_log_raise_and_exc_use():
+    findings = _lint(
+        """
+        def a(fn, log):
+            try:
+                fn()
+            except Exception:
+                log.warning("fn failed")
+
+        def b(fn):
+            try:
+                fn()
+            except Exception:
+                raise RuntimeError("fn failed")
+
+        def c(fn, res_q, wid, bid):
+            try:
+                fn()
+            except Exception as exc:
+                res_q.put(("done", wid, bid, exc, 0.0))
+        """,
+        module="repro.serve.server",
+        select=["silent-except"],
+    )
+    assert findings == []
+
+
+def test_silent_except_flags_unused_bound_exception():
+    findings = _lint(
+        """
+        def a(fn):
+            try:
+                fn()
+            except Exception as exc:
+                pass
+        """,
+        module="repro.core.sim",
+        select=["silent-except"],
+    )
+    assert _rules(findings) == ["silent-except"]

@@ -201,3 +201,21 @@ def test_shm_worker_exception_propagates_and_frees_slots():
         with pytest.raises(RuntimeError, match="serve worker"):
             srv.collect(5)
         assert srv._transport.n_free_slots == srv.metrics.shm_n_slots
+
+
+def test_ring_slot_validates_index_and_nfloats():
+    from repro.serve.wire import WireFormatError
+
+    ring = SharedMemoryRing(n_slots=4, slot_floats=16)
+    try:
+        for bad_index in (4, -1, 100):
+            with pytest.raises(WireFormatError):
+                ring.slot(bad_index)
+        for bad_nfloats in (0, -3, 17):
+            with pytest.raises(WireFormatError):
+                ring.slot(0, bad_nfloats)
+        assert ring.slot(0, 16).size == 16
+    finally:
+        ring.close()
+    with pytest.raises(ValueError):
+        ring.slot(0)

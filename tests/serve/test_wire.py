@@ -157,3 +157,33 @@ def test_response_fits_in_request_slot():
 
     for n in (0, 1, 20, 4096):
         assert response_nfloats(n) <= request_nfloats(n)
+
+
+def test_corrupt_header_counts_raise_wire_format_error():
+    from repro.serve.wire import WireFormatError
+
+    # A torn buffer can hold anything a float64 can; every invalid
+    # (count, width) must surface as the typed error, not an IndexError
+    # deep inside unpack.
+    for bad in (np.nan, np.inf, -np.inf, -1.0, 2.5):
+        buf = _request(n=20).to_buffer()
+        buf[10] = bad
+        with pytest.raises(WireFormatError):
+            ServeRequest.from_buffer(buf)
+    res = ServeResponse(event_id=9, return_step=55, particles=_region(11))
+    buf = res.to_buffer()
+    buf[4] = np.nan
+    with pytest.raises(WireFormatError):
+        ServeResponse.from_buffer(buf)
+
+
+def test_wire_format_error_is_a_typed_value_error():
+    from repro.serve.wire import WireFormatError
+
+    # Fault recovery catches WireFormatError specifically; existing
+    # callers matching ValueError keep working.
+    assert issubclass(WireFormatError, ValueError)
+    buf = _request().to_buffer()
+    buf[0] = -7.0
+    with pytest.raises(WireFormatError):
+        ServeRequest.from_buffer(buf)

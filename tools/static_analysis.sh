@@ -5,8 +5,9 @@
 #   1. ruff        style + bugbear/numpy/ruff correctness rules (pyproject)
 #   2. repro.lint  repo-invariant checker (determinism, ledger labels,
 #                  import gating, backend purity, hot-path hygiene, shm
-#                  lease pairing, wire symmetry, rng plumbing); see the
-#                  repro.lint package docstring for the rule catalog
+#                  lease pairing, wire symmetry, rng plumbing,
+#                  silent-except); see the repro.lint package docstring
+#                  for the rule catalog
 #   3. mypy        strictly-typed serialization/backend seam (serve.wire,
 #                  serve.shm, accel.backends.base; config in pyproject)
 #
