@@ -103,7 +103,7 @@ class ForceEngine:
         """Self-gravity on all particles; at most one octree build per call
         (and zero when the cached tree is still valid)."""
         cfg = self.cfg
-        with self.timers.measure(f"{label} Calc_Force"):
+        with self.timers.measure(f"{label} Calc_Force", backend=self.backend.name):
             if len(ps) <= cfg.direct_gravity_below:
                 return accel_direct(
                     ps.pos, ps.mass, ps.eps, counter=self.counter,
@@ -155,7 +155,9 @@ class ForceEngine:
             self._hydro_cache = None
             return acc, du, vsig
         pos_g, vel_g, mass_g = ps.pos[gas], ps.vel[gas], ps.mass[gas]
-        with self.timers.measure(f"{label} Calc_Kernel_Size_and_Density"):
+        with self.timers.measure(
+            f"{label} Calc_Kernel_Size_and_Density", backend=self.backend.name
+        ):
             d = compute_density(
                 pos_g,
                 vel_g,
@@ -171,7 +173,7 @@ class ForceEngine:
             # can answer through the same grid.
             self.index.set_grid_scope(gas)
         self._write_gas_fields(ps, gas, d.h, d.dens, d.pres, d.csnd, d.divv, d.curlv, d.omega)
-        with self.timers.measure(f"{label} Calc_Hydro_Force"):
+        with self.timers.measure(f"{label} Calc_Hydro_Force", backend=self.backend.name):
             f = compute_hydro_forces(
                 pos_g,
                 vel_g,
@@ -220,12 +222,14 @@ class ForceEngine:
         gas, d = cache.gas, cache.density
         pos_g, vel_g, mass_g = ps.pos[gas], ps.vel[gas], ps.mass[gas]
         acc, du, vsig = self._full_buffers(len(ps))
-        with self.timers.measure(f"{label} Calc_Kernel_Size_and_Density"):
+        with self.timers.measure(
+            f"{label} Calc_Kernel_Size_and_Density", backend=self.backend.name
+        ):
             pres = pressure(d.dens, ps.u[gas])
             csnd = sound_speed_from_density(d.dens, pres)
             divv, curlv = refresh_velocity_fields(d, pos_g, vel_g, mass_g)
         self._write_gas_fields(ps, gas, d.h, d.dens, pres, csnd, divv, curlv, d.omega)
-        with self.timers.measure(f"{label} Calc_Hydro_Force"):
+        with self.timers.measure(f"{label} Calc_Hydro_Force", backend=self.backend.name):
             f = compute_hydro_forces(
                 pos_g,
                 vel_g,

@@ -37,6 +37,7 @@ from repro.core.pool import PoolManager
 from repro.fdps.domain import DomainDecomposition, process_grid
 from repro.fdps.interaction import InteractionCounter
 from repro.fdps.particles import ParticleSet, ParticleType
+from repro.obs.trace import NULL_TRACER
 from repro.physics.cooling import CoolingModel
 from repro.physics.star_formation import StarFormationModel
 from repro.physics.stellar import exploding_between
@@ -79,6 +80,7 @@ class BaseIntegrator:
         config: IntegratorConfig | None = None,
         cooling: CoolingModel | None = None,
         star_formation: StarFormationModel | None = None,
+        tracer=None,
     ) -> None:
         self.ps = ps
         self.cfg = config or IntegratorConfig()
@@ -86,7 +88,10 @@ class BaseIntegrator:
         self.star_formation = star_formation or StarFormationModel()
         self.time = 0.0
         self.step_count = 0
-        self.timers = TimerRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Every timer bracket below doubles as a sim-category span, so the
+        # in-process Table-3 rows and the exported trace agree by construction.
+        self.timers = TimerRegistry(tracer=self.tracer)
         self.counter = InteractionCounter()
         self.engine = ForceEngine(self.cfg, timers=self.timers, counter=self.counter)
         self.rng = np.random.default_rng(self.cfg.seed)
@@ -201,13 +206,18 @@ class SurrogateLeapfrog(BaseIntegrator):
         config: IntegratorConfig | None = None,
         cooling: CoolingModel | None = None,
         star_formation: StarFormationModel | None = None,
+        tracer=None,
     ) -> None:
-        super().__init__(ps, config, cooling, star_formation)
+        super().__init__(ps, config, cooling, star_formation, tracer=tracer)
         self.pool = pool
         self.decomp: DomainDecomposition | None = None
 
     # ------------------------------------------------------------------ step
     def step(self) -> None:
+        with self.tracer.span("step", step=self.step_count):
+            self._step_inner()
+
+    def _step_inner(self) -> None:
         cfg = self.cfg
         dt = cfg.dt
         ps = self.ps

@@ -79,6 +79,13 @@ class GalaxySimulation:
     serve_fault_plan : scripted fault injection for chaos testing
         (:class:`repro.serve.FaultPlan` or its string form); ``None``
         reads ``REPRO_SERVE_FAULTS`` from the environment.
+    tracer : optional :class:`repro.obs.Tracer`.  Threads span tracing
+        through the integrator's phase timers, the force-engine kernels,
+        and the serve pipeline (dispatch/claim/batch/recovery); export
+        with :meth:`write_trace` and render with ``python -m repro.obs
+        report``.  The default :data:`~repro.obs.NULL_TRACER` keeps every
+        bracket a no-op; tracing never changes particle state (asserted
+        bit-identical in ``benchmarks/bench_obs_overhead.py``).
     """
 
     def __init__(
@@ -104,7 +111,11 @@ class GalaxySimulation:
         serve_fault_mode: FaultMode | str = FaultMode.RECOVER,
         serve_fault_plan: "FaultPlan | str | None" = None,
         serve_supervision: "SupervisionConfig | None" = None,
+        tracer=None,
     ) -> None:
+        from repro.obs.trace import NULL_TRACER
+
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         cfg = config or IntegratorConfig()
         cfg.dt = dt
         cfg.n_pool = n_pool
@@ -140,7 +151,9 @@ class GalaxySimulation:
             fault_mode=serve_fault_mode,
             fault_plan=serve_fault_plan,
             supervision=serve_supervision,
+            tracer=self.tracer,
         )
+        self.server = server
         self.pool = PoolManager(
             surrogate=surrogate,
             n_pool=cfg.n_pool,
@@ -151,7 +164,8 @@ class GalaxySimulation:
             horizon=horizon,
         )
         self.integrator = SurrogateLeapfrog(
-            ps, self.pool, cfg, cooling=cooling, star_formation=star_formation
+            ps, self.pool, cfg, cooling=cooling, star_formation=star_formation,
+            tracer=self.tracer,
         )
 
     # ------------------------------------------------------------- delegation
@@ -181,6 +195,41 @@ class GalaxySimulation:
     def timing_breakdown(self) -> dict[str, float]:
         """Accumulated per-part wall-clock seconds (Fig. 6 categories)."""
         return self.integrator.timers.totals()
+
+    # ---------------------------------------------------------- observability
+    def attach_service_metrics(self) -> None:
+        """Attach the serve pipeline's versioned metrics export to the trace.
+
+        Call once near the end of a traced run (before :meth:`write_trace`)
+        so ``python -m repro.obs report`` can price hidden vs exposed
+        inference from the same counters ``metrics_dict`` reports.  A no-op
+        under the null tracer.
+        """
+        if not self.tracer.enabled:
+            return
+        self.tracer.attach_meta(
+            "service_metrics",
+            self.server.metrics.to_dict(
+                max_batch=self.server.scheduler.max_batch,
+                n_workers=self.server.n_workers,
+            ),
+        )
+
+    def write_trace(self, run_dir: str | Path) -> Path:
+        """Export the run's trace stream (see :mod:`repro.obs.export`).
+
+        Attaches the service metrics first, so the written stream is
+        self-contained for the run report.  Requires an enabled tracer.
+        """
+        from repro.obs.export import write_run
+
+        if not self.tracer.enabled:
+            raise RuntimeError(
+                "write_trace needs an enabled tracer: construct the "
+                "simulation with tracer=repro.obs.Tracer()"
+            )
+        self.attach_service_metrics()
+        return write_run(self.tracer, run_dir)
 
     def star_formation_rate(self, window: float = 1.0) -> float:
         """SFR [M_sun/Myr] over the trailing ``window`` Myr."""

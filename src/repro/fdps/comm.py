@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.trace import NULL_TRACER
+
 
 @dataclass
 class CommStats:
@@ -100,13 +102,15 @@ class SimComm:
     remaining debuggable single-process Python.
     """
 
-    def __init__(self, n_ranks: int, topology: TorusTopology | None = None) -> None:
+    def __init__(self, n_ranks: int, topology: TorusTopology | None = None,
+                 tracer=None) -> None:
         if n_ranks <= 0:
             raise ValueError("communicator needs at least one rank")
         self.n_ranks = n_ranks
         self.topology = topology
         if topology is not None and topology.n_ranks != n_ranks:
             raise ValueError("topology size does not match communicator size")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats: dict[str, CommStats] = {}
         self._mailboxes: list[list[tuple[int, int, np.ndarray]]] = [
             [] for _ in range(n_ranks)
@@ -117,6 +121,24 @@ class SimComm:
         if label not in self.stats:
             self.stats[label] = CommStats()
         return self.stats[label]
+
+    def _merge(self, label: str, per_rank_bytes: np.ndarray, n_messages: int,
+               byte_hops: int, t0: float) -> None:
+        """One ledger row update + the matching comm-category span.
+
+        Span attrs mirror the :class:`CommStats` increments exactly, so a
+        trace's per-label byte sums reproduce the ledger by construction.
+        """
+        self._stat(label).merge_call(per_rank_bytes, n_messages, byte_hops)
+        tr = self.tracer
+        if tr.enabled:
+            now = tr.now()
+            tr.span_at(
+                label, t0, now - t0, cat="comm",
+                bytes=int(per_rank_bytes.sum()),
+                messages=int(n_messages),
+                critical_bytes=int(per_rank_bytes.max(initial=0)),
+            )
 
     def reset_stats(self) -> None:
         self.stats.clear()
@@ -145,12 +167,12 @@ class SimComm:
         of :mod:`repro.core.pool` uses ``"pool_p2p"`` so the perf model can
         price main<->pool transfers separately from intra-main exchanges.
         """
-        stat = self._stat(label)
+        t0 = self.tracer.now()
         per_rank = np.zeros(self.n_ranks, dtype=np.int64)
         per_rank[src] = _nbytes(arr)
         hops = self.topology.hops(src, dst) if self.topology else 1
-        stat.merge_call(per_rank, 1, _nbytes(arr) * hops)
         self._mailboxes[dst].append((src, tag, arr))
+        self._merge(label, per_rank, 1, _nbytes(arr) * hops, t0)
 
     def recv(self, dst: int, src: int | None = None, tag: int | None = None) -> np.ndarray | None:
         """Pop the first matching message for ``dst`` (None if empty)."""
@@ -178,6 +200,7 @@ class SimComm:
         p = self.n_ranks
         if len(send) != p:
             raise ValueError("send matrix must have one row per rank")
+        t0 = self.tracer.now()
         per_rank = np.zeros(p, dtype=np.int64)
         n_msg = 0
         byte_hops = 0
@@ -197,7 +220,7 @@ class SimComm:
                     hops = self.topology.hops(src, dst) if self.topology else 1
                     byte_hops += nb * hops
                 recv[dst][src] = buf
-        self._stat(label).merge_call(per_rank, n_msg, byte_hops)
+        self._merge(label, per_rank, n_msg, byte_hops, t0)
         return recv
 
     def alltoallv_3d(
@@ -229,8 +252,8 @@ class SimComm:
                 if buf is not None:
                     in_transit[src].append((src, dst, buf))
 
-        stat = self._stat(label)
         for axis in range(3):
+            t0 = self.tracer.now()
             per_rank = np.zeros(p, dtype=np.int64)
             n_msg = 0
             byte_hops = 0
@@ -255,7 +278,7 @@ class SimComm:
             for (a, b), nb in pair_bytes.items():
                 n_msg += 1
                 byte_hops += nb * topo.hops(a, b)
-            stat.merge_call(per_rank, n_msg, byte_hops)
+            self._merge(label, per_rank, n_msg, byte_hops, t0)
             in_transit = nxt
 
         recv: list[list[np.ndarray | None]] = [[None] * p for _ in range(p)]

@@ -48,7 +48,9 @@ from repro.fdps.let import exchange_let
 from repro.fdps.particles import ParticleSet, ParticleType
 from repro.fdps.tree import Octree
 from repro.gravity.treegrav import tree_accel
+from repro.obs.trace import NULL_TRACER
 from repro.perf.costmodel import hydro_gravity_work_ratio
+from repro.util.timers import TimerRegistry
 
 
 @dataclass
@@ -77,19 +79,30 @@ class DistributedGravity:
     mixed_precision: bool = False
     decomp_sample: int | None = 100_000
     backend: str | None = None
+    #: Optional :class:`repro.obs.trace.Tracer`: per-rank phase spans and
+    #: the communicator's ledger spans land on it (``rank`` attr = the
+    #: simulated rank, so the run report's slowest-rank merge sees ranks).
+    tracer: object | None = None
     grid: tuple[int, int, int] = field(init=False)
     comm: SimComm = field(init=False)
     #: One spatial index per rank: the cached octree serves the LET export
     #: and the force walk; its stats record the builds-per-step guarantee.
     indices: list[SpatialIndex] = field(init=False)
+    #: One timer registry per rank — the Table-3 bookkeeping of the
+    #: distributed phases, merged with :meth:`TimerRegistry.slowest`.
+    timers: list[TimerRegistry] = field(init=False)
 
     def __post_init__(self) -> None:
         if self.n_ranks < 1:
             raise ValueError("need at least one rank")
+        self.tracer = self.tracer if self.tracer is not None else NULL_TRACER
         self.grid = process_grid(self.n_ranks)
         topo = TorusTopology(self.grid) if self.use_torus else None
-        self.comm = SimComm(self.n_ranks, topology=topo)
+        self.comm = SimComm(self.n_ranks, topology=topo, tracer=self.tracer)
         self.indices = [SpatialIndex() for _ in range(self.n_ranks)]
+        self.timers = [
+            TimerRegistry(tracer=self.tracer, rank=r) for r in range(self.n_ranks)
+        ]
         self._last_work: list[np.ndarray] | None = None
         from repro.accel.backends import get_backend
 
@@ -100,10 +113,11 @@ class DistributedGravity:
         self, ps: ParticleSet, weights: np.ndarray | None = None
     ) -> tuple[DomainDecomposition, np.ndarray]:
         """Phase 1: fit the multisection and assign every particle a rank."""
-        decomp = DomainDecomposition.fit(
-            ps.pos, self.grid, weights=weights, sample=self.decomp_sample
-        )
-        return decomp, decomp.assign(ps.pos)
+        with self.timers[0].measure("Decompose_Domain"):
+            decomp = DomainDecomposition.fit(
+                ps.pos, self.grid, weights=weights, sample=self.decomp_sample
+            )
+            return decomp, decomp.assign(ps.pos)
 
     def exchange_particles(
         self, locals_: list[ParticleSet], decomp: DomainDecomposition
@@ -123,17 +137,18 @@ class DistributedGravity:
         keep: list[ParticleSet] = []
         emigrated = [False] * p
         for src in range(p):
-            ps = locals_[src]
-            owner = decomp.assign(ps.pos)
-            keep.append(ps.select(owner == src))
-            emigrated[src] = len(keep[src]) != len(ps)
-            for dst in range(p):
-                if dst == src:
-                    continue
-                moving = ps.select(owner == dst)
-                if len(moving) == 0:
-                    continue
-                send[src][dst] = moving.pack()  # byte-counted full payload
+            with self.timers[src].measure("Exchange_Particle"):
+                ps = locals_[src]
+                owner = decomp.assign(ps.pos)
+                keep.append(ps.select(owner == src))
+                emigrated[src] = len(keep[src]) != len(ps)
+                for dst in range(p):
+                    if dst == src:
+                        continue
+                    moving = ps.select(owner == dst)
+                    if len(moving) == 0:
+                        continue
+                    send[src][dst] = moving.pack()  # byte-counted full payload
         recv = (
             self.comm.alltoallv_3d(send, label="exchange_particles")
             if self.use_torus
@@ -141,15 +156,16 @@ class DistributedGravity:
         )
         out: list[ParticleSet] = []
         for dst in range(p):
-            merged = keep[dst]
-            immigrated = False
-            for src in range(p):
-                if recv[dst][src] is not None:
-                    merged = merged.append(ParticleSet.unpack(recv[dst][src]))
-                    immigrated = True
-            out.append(merged)
-            if emigrated[dst] or immigrated:
-                self.indices[dst].invalidate_all()
+            with self.timers[dst].measure("Exchange_Particle"):
+                merged = keep[dst]
+                immigrated = False
+                for src in range(p):
+                    if recv[dst][src] is not None:
+                        merged = merged.append(ParticleSet.unpack(recv[dst][src]))
+                        immigrated = True
+                out.append(merged)
+                if emigrated[dst] or immigrated:
+                    self.indices[dst].invalidate_all()
         return out
 
     def forces(
@@ -169,11 +185,14 @@ class DistributedGravity:
         ghi = np.max([ps.pos.max(axis=0) for ps in locals_ if len(ps)], axis=0)
         trees: list[Octree | None] = []
         for rank, ps in enumerate(locals_):
-            trees.append(
-                self.indices[rank].tree_for(ps.pos, ps.mass, leaf_size=self.leaf_size)
-                if len(ps)
-                else None
-            )
+            with self.timers[rank].measure("Tree_Construction"):
+                trees.append(
+                    self.indices[rank].tree_for(
+                        ps.pos, ps.mass, leaf_size=self.leaf_size
+                    )
+                    if len(ps)
+                    else None
+                )
         # Empty ranks export nothing; exchange_let wants a tree per rank, so
         # substitute a trivial far-away particle (zero mass = no force).
         safe_trees = [
@@ -182,9 +201,11 @@ class DistributedGravity:
             else Octree.build(np.array([[1e12, 1e12, 1e12]]), np.array([0.0]))
             for t in trees
         ]
-        imports = exchange_let(
-            self.comm, safe_trees, decomp, glo, ghi, self.theta, use_3d=self.use_torus
-        )
+        with self.timers[0].measure("Exchange_LET"):
+            imports = exchange_let(
+                self.comm, safe_trees, decomp, glo, ghi, self.theta,
+                use_3d=self.use_torus,
+            )
         accs: list[np.ndarray] = []
         work: list[np.ndarray] = []
         for rank, ps in enumerate(locals_):
@@ -192,20 +213,21 @@ class DistributedGravity:
                 accs.append(np.zeros((0, 3)))
                 work.append(np.zeros(0))
                 continue
-            res = tree_accel(
-                ps.pos,
-                ps.mass,
-                ps.eps,
-                theta=self.theta,
-                n_g=self.n_g,
-                leaf_size=self.leaf_size,
-                counter=counter,
-                mixed_precision=self.mixed_precision,
-                extra_pos=imports[rank].pos,
-                extra_mass=imports[rank].mass,
-                tree=trees[rank],
-                backend=self._backend,
-            )
+            with self.timers[rank].measure("Calc_Force", backend=self._backend.name):
+                res = tree_accel(
+                    ps.pos,
+                    ps.mass,
+                    ps.eps,
+                    theta=self.theta,
+                    n_g=self.n_g,
+                    leaf_size=self.leaf_size,
+                    counter=counter,
+                    mixed_precision=self.mixed_precision,
+                    extra_pos=imports[rank].pos,
+                    extra_mass=imports[rank].mass,
+                    tree=trees[rank],
+                    backend=self._backend,
+                )
             accs.append(res.acc)
             work.append(res.work)
         self._last_work = work
@@ -317,13 +339,14 @@ class DistributedGravity:
             orders=[orders[rank] for rank in nonempty],
             counts=[len(locals_[rank]) for rank in nonempty],
         )
-        decomp = DomainDecomposition.fit(
-            merged_pos,
-            self.grid,
-            weights=merged_w,
-            sample=self.decomp_sample,
-            index=sampler,
-        )
+        with self.timers[0].measure("Decompose_Domain"):
+            decomp = DomainDecomposition.fit(
+                merged_pos,
+                self.grid,
+                weights=merged_w,
+                sample=self.decomp_sample,
+                index=sampler,
+            )
         locals_ = self.exchange_particles(locals_, decomp)
         accs = self.forces(locals_, decomp)
         for ps, acc in zip(locals_, accs, strict=True):

@@ -15,7 +15,7 @@ Repo invariants (the rule catalog)
 ``determinism``
     No ``np.random`` module-state calls, stdlib ``random``, or absolute
     clocks (``time.time``, ``datetime.now``) in
-    ``repro.{core,physics,sph,gravity,sn,surrogate,ml,serve}``.  Every draw
+    ``repro.{core,physics,sph,gravity,sn,surrogate,ml,serve,obs}``.  Every draw
     flows from a seeded ``np.random.Generator`` or
     :func:`repro.serve.wire.event_rng`; wall-clock metrics use
     ``perf_counter``/``monotonic``.  Motivated by the cross-backend /
@@ -77,6 +77,16 @@ Repo invariants (the rule catalog)
     Public functions that build a generator take the seed from their
     caller — an ``rng``/``seed``-like parameter or a seed-carrying
     attribute of ``self`` — so the parity suites can pin every draw.
+
+``span-pairing``
+    Every ``tracer.span(...)`` handle is a ``with`` context expression (or
+    an assigned handle closed in a ``finally`` block), so a span record
+    can never leak and the tracer's nesting stack cannot corrupt.  The
+    companion clock invariant — ``repro.obs`` timestamps are
+    monotonic-epoch only — rides the ``determinism`` rule, whose scope
+    includes ``repro.obs``.  Motivated by the ISSUE 9 observability
+    subsystem: traces must stay comparable across runs and complete under
+    exceptions.
 
 Suppressions
 ------------

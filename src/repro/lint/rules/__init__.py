@@ -7,5 +7,6 @@ from repro.lint.rules import (  # noqa: F401
     imports,
     ledger,
     leases,
+    spans,
     wire,
 )

@@ -37,6 +37,10 @@ DETERMINISTIC_MODULES = (
     "repro.surrogate",
     "repro.ml",
     "repro.serve",
+    # Trace timestamps are monotonic-epoch by contract (repro.obs module
+    # docs): an absolute clock here would make two runs' traces
+    # incomparable and is flagged by the same R1 clock clause.
+    "repro.obs",
 )
 
 #: numpy.random entry points that are seeded-stream safe.

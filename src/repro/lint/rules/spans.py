@@ -1,0 +1,100 @@
+"""Span hygiene: every opened span must be guaranteed to close.
+
+A :meth:`repro.obs.trace.Tracer.span` handle records *nothing* until its
+``__exit__`` runs — an un-entered or leaked handle silently drops the
+measurement AND corrupts the tracer's nesting stack for every span that
+follows.  The repo-wide contract is therefore structural: ``.span(...)``
+is either the context expression of a ``with`` statement or a handle whose
+closing is pinned in a ``finally`` block.  ``span_at``/``instant``/
+``count``/``gauge`` record immediately and need no pairing.
+
+The absolute-clock half of the ``repro.obs`` contract (trace timestamps
+are monotonic-epoch only, so two runs' traces are comparable and the
+determinism guarantee extends to traced runs) is enforced by listing
+``repro.obs`` in :data:`repro.lint.rules.determinism.DETERMINISTIC_MODULES`
+— the existing R1 clock clause covers it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import ModuleContext, Rule, dotted_name, enclosing_function
+from repro.lint.findings import Finding
+from repro.lint.registry import register_rule
+
+#: Receiver name tails that identify a tracer object.  Heuristic on
+#: purpose: the repo's convention is to call the variable/attribute holding
+#: a tracer exactly this (``tracer``, ``self.tracer``, ``self._tracer``).
+_TRACER_TAILS = {"tracer", "_tracer"}
+
+
+def _is_tracer_span_call(node: ast.Call) -> bool:
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "span"):
+        return False
+    receiver = dotted_name(func.value)
+    if receiver is None:
+        return False
+    return receiver.split(".")[-1] in _TRACER_TAILS
+
+
+def _is_with_context(node: ast.Call) -> bool:
+    parent = getattr(node, "parent", None)
+    return isinstance(parent, ast.withitem) and parent.context_expr is node
+
+
+def _closed_in_finally(node: ast.Call) -> bool:
+    """An assigned handle counts as paired when the enclosing function has a
+    ``finally`` block that touches the assigned name (manual pairing)."""
+    parent = getattr(node, "parent", None)
+    if not isinstance(parent, ast.Assign):
+        return False
+    targets = {t.id for t in parent.targets if isinstance(t, ast.Name)}
+    if not targets:
+        return False
+    func = enclosing_function(node)
+    scope: ast.AST = func if func is not None else _module_root(node)
+    for sub in ast.walk(scope):
+        if isinstance(sub, ast.Try):
+            for stmt in sub.finalbody:
+                for leaf in ast.walk(stmt):
+                    if isinstance(leaf, ast.Name) and leaf.id in targets:
+                        return True
+    return False
+
+
+def _module_root(node: ast.AST) -> ast.AST:
+    cur = node
+    while getattr(cur, "parent", None) is not None:
+        cur = cur.parent
+    return cur
+
+
+@register_rule
+class SpanPairingRule(Rule):
+    """R9: tracer spans open under ``with`` (or close in a ``finally``)."""
+
+    name = "span-pairing"
+    description = (
+        "tracer .span(...) handles must be `with` context expressions or "
+        "assigned handles closed in a finally block — a leaked span records "
+        "nothing and corrupts the nesting stack"
+    )
+    # Repo-wide: instrumentation lives at the seams, not in one package.
+    scope_prefixes = ()
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        out: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not _is_tracer_span_call(node):
+                continue
+            if _is_with_context(node) or _closed_in_finally(node):
+                continue
+            out.append(ctx.finding(
+                node, self.name,
+                "tracer span opened outside a `with` statement and never "
+                "closed in a finally block; use `with tracer.span(...):` so "
+                "the record cannot leak",
+            ))
+        return out

@@ -1,0 +1,225 @@
+"""The run report: a Table-3-style per-routine breakdown from a trace.
+
+The paper's Table 3 is a per-routine wall-clock breakdown measured with
+MPI_Wtime/MPI_Barrier brackets and reduced to the *slowest* MPI process
+(its footnote).  :func:`report_run` reproduces that accounting from a
+recorded trace:
+
+* every ``sim``-category span name becomes one breakdown row; per-rank
+  totals are rebuilt into :class:`repro.util.timers.TimerRegistry` objects
+  and merged with :meth:`TimerRegistry.slowest` — literally the same
+  reduction the in-process timers use;
+* ``comm``-category spans (one per labelled :class:`~repro.fdps.comm
+  .SimComm` ledger row) aggregate into per-label seconds, bytes, messages,
+  and critical-path bytes — the byte figures match the
+  :class:`~repro.fdps.comm.CommStats` ledger exactly because the spans are
+  emitted at the same merge points;
+* the ``service_metrics`` attachment (a versioned
+  :meth:`~repro.serve.metrics.ServiceMetrics.to_dict` export) is priced by
+  :func:`repro.perf.costmodel.serve_summary` into hidden vs exposed
+  inference seconds — the paper's "DL fully overlaps" claim, checked
+  against this run;
+* :func:`diff_reports` lines two runs up row by row for regression triage
+  (``python -m repro.obs report A --diff B``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.export import LoadedTrace, load_run
+from repro.util.timers import TimerRegistry
+
+__all__ = ["RunReport", "diff_reports", "report_run", "report_traces"]
+
+#: Umbrella spans excluded from the breakdown rows (they *contain* the
+#: breakdown; adding them would double-count every phase).
+_UMBRELLA_NAMES = {"step"}
+
+
+@dataclass
+class RunReport:
+    """Everything the report CLI prints, in structured form."""
+
+    run_id: str = "run"
+    n_ranks: int = 1
+    n_steps: int = 0
+    wall_s: float = 0.0
+    #: name -> {"slowest", "mean", "count"} over ranks (Table-3 rows).
+    breakdown: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: label -> {"seconds", "bytes", "messages", "critical_bytes", "calls"}.
+    comm: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: serve span totals (name -> seconds) + priced summary.
+    serve_spans: dict[str, float] = field(default_factory=dict)
+    serve_summary: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+
+    # -------------------------------------------------------------- exports
+    def to_json_obj(self) -> dict:
+        return {
+            "run_id": self.run_id,
+            "n_ranks": self.n_ranks,
+            "n_steps": self.n_steps,
+            "wall_s": self.wall_s,
+            "breakdown": self.breakdown,
+            "comm": self.comm,
+            "serve_spans": self.serve_spans,
+            "serve_summary": self.serve_summary,
+            "counters": self.counters,
+        }
+
+    def to_text(self) -> str:
+        lines = [
+            f"run report: {self.run_id}  "
+            f"(ranks={self.n_ranks}, steps={self.n_steps}, "
+            f"wall={self.wall_s:.3f}s)",
+            "",
+            "time breakdown (slowest rank, Table-3 reduction)",
+            f"  {'part':<34} {'slowest [s]':>12} {'mean [s]':>10} {'calls':>8}",
+        ]
+        total = 0.0
+        for name, row in sorted(
+            self.breakdown.items(), key=lambda kv: -kv[1]["slowest"]
+        ):
+            total += row["slowest"]
+            lines.append(
+                f"  {name:<34} {row['slowest']:>12.4f} "
+                f"{row['mean']:>10.4f} {int(row['count']):>8d}"
+            )
+        lines.append(f"  {'TOTAL':<34} {total:>12.4f}")
+        if self.comm:
+            lines += ["", "communication (per ledger label)",
+                      f"  {'label':<22} {'seconds':>9} {'bytes':>12} "
+                      f"{'critical':>12} {'msgs':>8} {'calls':>7}"]
+            for label, row in sorted(self.comm.items()):
+                lines.append(
+                    f"  {label:<22} {row['seconds']:>9.4f} "
+                    f"{int(row['bytes']):>12d} {int(row['critical_bytes']):>12d} "
+                    f"{int(row['messages']):>8d} {int(row['calls']):>7d}"
+                )
+        if self.serve_spans or self.serve_summary:
+            lines += ["", "surrogate serving"]
+            for name, seconds in sorted(self.serve_spans.items()):
+                lines.append(f"  {name:<34} {seconds:>12.4f}")
+            summary = self.serve_summary
+            if summary:
+                lines.append(
+                    f"  inference: hidden "
+                    f"{summary.get('inference_hidden_s', 0.0):.4f}s / "
+                    f"exposed {summary.get('inference_exposed_s', 0.0):.4f}s "
+                    f"(overlap efficiency "
+                    f"{summary.get('overlap_efficiency', 0.0):.3f})"
+                )
+        if self.counters:
+            lines += ["", "counters"]
+            for name, value in sorted(self.counters.items()):
+                lines.append(f"  {name:<34} {value:>12g}")
+        return "\n".join(lines) + "\n"
+
+
+def _sim_registries(traces: list[LoadedTrace]) -> list[TimerRegistry]:
+    """Rebuild one TimerRegistry per rank from the sim-category spans."""
+    by_rank: dict[int, TimerRegistry] = {}
+    for trace in traces:
+        for rec in trace.records:
+            if rec.cat != "sim" or rec.name in _UMBRELLA_NAMES:
+                continue
+            reg = by_rank.setdefault(rec.rank, TimerRegistry())
+            timer = reg.get(rec.name)
+            timer.total += rec.dur
+            timer.count += 1
+    return [by_rank[r] for r in sorted(by_rank)]
+
+
+def report_traces(traces: list[LoadedTrace]) -> RunReport:
+    """Build the report from already-loaded trace streams."""
+    report = RunReport()
+    if traces:
+        report.run_id = traces[0].run_id
+    ranks = {t.rank for t in traces} | {
+        rec.rank for t in traces for rec in t.records
+    }
+    report.n_ranks = max(len(ranks), 1)
+
+    # --- Table-3 rows: slowest-rank reduction via TimerRegistry ------------
+    registries = _sim_registries(traces)
+    slowest = TimerRegistry.slowest(registries)
+    for name, worst in slowest.items():
+        counts = [reg.get(name).count for reg in registries if name in reg.timers]
+        totals = [reg.get(name).total for reg in registries if name in reg.timers]
+        report.breakdown[name] = {
+            "slowest": worst,
+            "mean": sum(totals) / len(totals) if totals else 0.0,
+            "count": max(counts) if counts else 0,
+        }
+
+    # --- steps + wall extent ----------------------------------------------
+    t_end = 0.0
+    for trace in traces:
+        for rec in trace.records:
+            t_end = max(t_end, rec.t0 + rec.dur)
+            if rec.name == "step" and rec.cat == "sim":
+                report.n_steps += 1
+            elif rec.cat == "comm":
+                row = report.comm.setdefault(rec.name, {
+                    "seconds": 0.0, "bytes": 0.0, "messages": 0.0,
+                    "critical_bytes": 0.0, "calls": 0.0,
+                })
+                row["seconds"] += rec.dur
+                row["bytes"] += float(rec.attrs.get("bytes", 0))
+                row["messages"] += float(rec.attrs.get("messages", 0))
+                row["critical_bytes"] += float(rec.attrs.get("critical_bytes", 0))
+                row["calls"] += 1
+            elif rec.cat == "serve":
+                report.serve_spans[rec.name] = (
+                    report.serve_spans.get(rec.name, 0.0) + rec.dur
+                )
+        for name, value in trace.counters.items():
+            report.counters[name] = report.counters.get(name, 0.0) + value
+    report.wall_s = t_end
+
+    # --- hidden vs exposed inference from the attached service metrics ----
+    metrics = {}
+    for trace in traces:
+        if "service_metrics" in trace.meta:
+            metrics = trace.meta["service_metrics"]
+            break
+    if metrics:
+        from repro.perf.costmodel import serve_summary
+
+        report.serve_summary = serve_summary(metrics)
+    return report
+
+
+def report_run(path: str | Path) -> RunReport:
+    """Load a run directory (or single stream) and build its report."""
+    return report_traces(load_run(path))
+
+
+def diff_reports(a: RunReport, b: RunReport) -> str:
+    """Row-aligned breakdown diff of two runs (regression triage)."""
+    lines = [
+        f"run diff: {a.run_id} vs {b.run_id}",
+        f"  {'part':<34} {'A [s]':>10} {'B [s]':>10} {'delta':>10} {'ratio':>7}",
+    ]
+    names = sorted(set(a.breakdown) | set(b.breakdown))
+    for name in names:
+        va = a.breakdown.get(name, {}).get("slowest", 0.0)
+        vb = b.breakdown.get(name, {}).get("slowest", 0.0)
+        ratio = vb / va if va > 0 else float("inf") if vb > 0 else 1.0
+        lines.append(
+            f"  {name:<34} {va:>10.4f} {vb:>10.4f} {vb - va:>+10.4f} "
+            f"{ratio:>7.2f}"
+        )
+    wall_ratio = b.wall_s / a.wall_s if a.wall_s > 0 else 1.0
+    lines.append(
+        f"  {'WALL':<34} {a.wall_s:>10.4f} {b.wall_s:>10.4f} "
+        f"{b.wall_s - a.wall_s:>+10.4f} {wall_ratio:>7.2f}"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def report_json(report: RunReport) -> str:
+    return json.dumps(report.to_json_obj(), indent=2)

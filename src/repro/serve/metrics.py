@@ -23,6 +23,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+#: Version stamp of the :meth:`ServiceMetrics.to_dict` export.  Consumers
+#: (the run report, the cost model, archived ``BENCH_*.json`` rows) key on
+#: it; bump on any rename/removal/semantic change of an exported field —
+#: *adding* fields is compatible and needs no bump.
+METRICS_SCHEMA_VERSION = 1
+
 
 @dataclass
 class ServiceMetrics:
@@ -180,4 +186,42 @@ class ServiceMetrics:
                 float(np.mean(self.recovery_s)) if self.recovery_s else 0.0
             ),
             "degraded": self.degraded,
+        }
+
+    def to_dict(self, max_batch: int = 0, n_workers: int = 0) -> dict:
+        """The versioned export: :meth:`as_dict` plus a ``schema`` stamp.
+
+        This is the shape attached to traces (``service_metrics`` meta) and
+        consumed by :func:`repro.perf.costmodel.serve_summary` — the schema
+        field lets archived exports be validated years later.
+        """
+        out = {"schema": METRICS_SCHEMA_VERSION}
+        out.update(self.as_dict(max_batch=max_batch, n_workers=n_workers))
+        return out
+
+    def summary(self, max_batch: int = 0, n_workers: int = 0) -> dict:
+        """A small human-oriented digest, safe at *any* lifecycle point.
+
+        Callable before the server ever started (``started_at`` unset),
+        mid-flight (``stopped_at`` unset — the utilization window falls
+        back to "now"), and after a supervisor restart reset the window
+        (``stopped_at <= started_at`` yields zero utilization rather than a
+        negative one).  Never raises; every value is a plain float/int.
+        """
+        p50, p95 = self.latency_percentiles()
+        return {
+            "n_submitted": int(self.n_submitted),
+            "n_completed": int(self.n_completed),
+            "n_batches": int(self.n_batches),
+            "batch_occupancy": self.batch_occupancy(max_batch),
+            "latency_steps_p50": p50,
+            "latency_steps_p95": p95,
+            "worker_utilization": self.worker_utilization(n_workers),
+            "exposed_wait_s": float(self.exposed_wait_s),
+            "inline_predict_s": float(self.inline_predict_s),
+            "n_faults": int(
+                self.n_worker_restarts + self.n_batch_timeouts + self.n_worker_errors
+            ),
+            "n_redispatch": int(self.n_redispatch),
+            "degraded": bool(self.degraded),
         }

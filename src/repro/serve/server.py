@@ -69,6 +69,7 @@ import numpy as np
 from repro.fdps.particles import ParticleSet
 from repro.serve.batch import BatchScheduler
 from repro.serve.faults import FaultInjector, FaultPlan
+from repro.obs.trace import NULL_TRACER
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.policies import FaultMode
 from repro.serve.wire import ServeRequest, ServeResponse, WireFormatError
@@ -378,10 +379,11 @@ class _WorkerSupervisor:
     """
 
     def __init__(self, spawn, n_workers: int, config: SupervisionConfig,
-                 metrics: ServiceMetrics) -> None:
+                 metrics: ServiceMetrics, tracer=None) -> None:
         self._spawn = spawn
         self._config = config
         self._metrics = metrics
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._slots = [_WorkerSlot(worker_id=i) for i in range(n_workers)]
 
     def start(self) -> None:
@@ -446,6 +448,11 @@ class _WorkerSupervisor:
                 slot.restart_at = None
                 slot.last_seen = now
                 self._metrics.n_worker_restarts += 1
+                self._tracer.instant(
+                    "serve.worker_restart", cat="serve",
+                    tid=f"worker-{slot.worker_id}", worker=slot.worker_id,
+                    failures=slot.failures,
+                )
                 if slot.died_at is not None:
                     self._metrics.recovery_s.append(now - slot.died_at)
         if dead and self.degraded:
@@ -479,7 +486,8 @@ class _WorkerTransportBase:
     def __init__(self, spec, n_workers: int, ctx_method: str | None = None,
                  pad_to: int | None = None, metrics: ServiceMetrics | None = None,
                  fault_plan: FaultPlan | None = None,
-                 supervision: SupervisionConfig | None = None) -> None:
+                 supervision: SupervisionConfig | None = None,
+                 tracer=None) -> None:
         if n_workers < 1:
             raise ValueError(f"{self._worker_kind} transport needs at least one worker")
         methods = mp.get_all_start_methods()
@@ -489,6 +497,7 @@ class _WorkerTransportBase:
         self._pad_to = pad_to
         self._fault_plan = fault_plan
         self._metrics = metrics if metrics is not None else ServiceMetrics()
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._req_q = self._ctx.Queue()
         self._res_q = self._ctx.Queue()
         #: batch_id -> worker_id that posted the claim row (in-flight only).
@@ -496,7 +505,7 @@ class _WorkerTransportBase:
         self._closed = False
         self._supervisor = _WorkerSupervisor(
             self._spawn, n_workers, supervision or SupervisionConfig(),
-            self._metrics,
+            self._metrics, tracer=self._tracer,
         )
         self._supervisor.start()
 
@@ -569,6 +578,10 @@ class _WorkerTransportBase:
         if tag == "claim":
             batch_id = row[2]
             self._claims[batch_id] = worker_id
+            self._tracer.instant(
+                "serve.claim", cat="serve", tid=f"worker-{worker_id}",
+                batch=batch_id, worker=worker_id,
+            )
             self._on_claim_row(worker_id, batch_id)
             return None
         _tag, worker_id, batch_id, payload, busy_s = row
@@ -725,10 +738,12 @@ class SurrogateServer:
         fault_plan: FaultPlan | str | None = None,
         supervision: SupervisionConfig | None = None,
         max_redispatch: int = 2,
+        tracer=None,
     ) -> None:
         if surrogate is None and spec is None:
             raise ValueError("need a surrogate or a SurrogateSpec")
         self.transport_name = transport
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = ServiceMetrics(started_at=time.perf_counter())
         self.scheduler = BatchScheduler(
             max_batch=max_batch,
@@ -757,6 +772,7 @@ class SurrogateServer:
                 self._worker_recipe(), n_workers, ctx_method=ctx_method,
                 pad_to=pad_to, metrics=self.metrics,
                 fault_plan=self._fault_plan, supervision=self._supervision,
+                tracer=self.tracer,
             )
         elif transport == "shm":
             from repro.serve.shm import _ShmTransport
@@ -769,6 +785,7 @@ class SurrogateServer:
                 slot_floats=request_nfloats(shm_slot_particles),
                 metrics=self.metrics,
                 fault_plan=self._fault_plan, supervision=self._supervision,
+                tracer=self.tracer,
             )
             self.metrics.shm_n_slots = shm_slots
             self.metrics.shm_slot_bytes = request_nfloats(shm_slot_particles) * 8
@@ -784,6 +801,7 @@ class SurrogateServer:
         #: lost batch can be re-dispatched or resolved inline.
         self._dispatched: dict[int, list[np.ndarray]] = {}
         self._dispatch_wall: dict[int, float] = {}       # id -> monotonic dispatch time
+        self._dispatch_trace_t0: dict[int, float] = {}   # id -> tracer.now() at dispatch
         self._redispatch_gen: dict[int, int] = {}        # id -> re-dispatch generation
         self._last_depth_sample_step: int | None = None
         self._closed = False
@@ -876,8 +894,15 @@ class SurrogateServer:
         """
         buf = self.scheduler.remove(request.event_id)
         t0 = time.perf_counter()
+        tt0 = self.tracer.now()
         [resp_buf] = predict_batch_buffers(surrogate or self.local_surrogate, [buf])
-        self.metrics.inline_predict_s += time.perf_counter() - t0
+        elapsed = time.perf_counter() - t0
+        self.metrics.inline_predict_s += elapsed
+        if self.tracer.enabled:
+            self.tracer.span_at(
+                "serve.inline_predict", tt0, elapsed, cat="serve", tid="inline",
+                event=request.event_id,
+            )
         self._store_response(resp_buf)
 
     # ------------------------------------------------------------------ tick
@@ -906,6 +931,12 @@ class SurrogateServer:
         self._in_flight.add(batch_id)
         self._dispatched[batch_id] = buffers
         self._dispatch_wall[batch_id] = time.monotonic()
+        if self.tracer.enabled:
+            self._dispatch_trace_t0[batch_id] = self.tracer.now()
+            self.tracer.instant(
+                "serve.dispatch", cat="serve", batch=batch_id,
+                events=len(buffers), generation=redispatch_gen,
+            )
         if redispatch_gen:
             self._redispatch_gen[batch_id] = redispatch_gen
         self._transport.dispatch(batch_id, buffers)
@@ -937,8 +968,14 @@ class SurrogateServer:
                     )
                 break
             t0 = time.perf_counter()
+            tt0 = self.tracer.now()
             replies = self._transport.wait(self._wait_slice())
-            self.metrics.exposed_wait_s += time.perf_counter() - t0
+            waited = time.perf_counter() - t0
+            self.metrics.exposed_wait_s += waited
+            if self.tracer.enabled:
+                self.tracer.span_at(
+                    "serve.exposed_wait", tt0, waited, cat="serve", step=step,
+                )
             if replies:
                 self._absorb(replies)
                 last_progress = time.monotonic()
@@ -1006,6 +1043,7 @@ class SurrogateServer:
         self._in_flight.discard(batch_id)
         self._dispatched.pop(batch_id, None)
         self._dispatch_wall.pop(batch_id, None)
+        self._dispatch_trace_t0.pop(batch_id, None)
         self._redispatch_gen.pop(batch_id, None)
 
     def _check_timeouts(self) -> None:
@@ -1053,6 +1091,10 @@ class SurrogateServer:
         )
         if can_redispatch:
             self.metrics.n_redispatch += 1
+            self.tracer.instant(
+                "serve.redispatch", cat="serve", batch=batch_id,
+                events=len(pending), generation=generation + 1, cause=cause,
+            )
             self._dispatch(pending, redispatch_gen=generation + 1)
         else:
             self._resolve_inline_fault(pending, cause)
@@ -1066,6 +1108,7 @@ class SurrogateServer:
         resort, bit-identical because :attr:`local_surrogate` is built from
         the same recipe the workers use."""
         t0 = time.perf_counter()
+        tt0 = self.tracer.now()
         try:
             responses = predict_batch_buffers(
                 self.local_surrogate, buffers, pad_to=self.scheduler.pad_to
@@ -1074,7 +1117,13 @@ class SurrogateServer:
             raise RuntimeError(
                 f"serve worker fault ({cause}) could not be recovered inline"
             ) from exc
-        self.metrics.inline_predict_s += time.perf_counter() - t0
+        elapsed = time.perf_counter() - t0
+        self.metrics.inline_predict_s += elapsed
+        if self.tracer.enabled:
+            self.tracer.span_at(
+                "serve.inline_recovery", tt0, elapsed, cat="serve",
+                tid="inline", events=len(buffers), cause=cause,
+            )
         self.metrics.n_fault_oracle += len(buffers)
         for buf in responses:
             self._store_response(buf)
@@ -1116,6 +1165,16 @@ class SurrogateServer:
                 except WireFormatError as exc:
                     corrupt = exc
             if corrupt is None:
+                if self.tracer.enabled:
+                    t0 = self._dispatch_trace_t0.get(batch_id)
+                    now = self.tracer.now()
+                    lane = f"worker-{worker_id}" if worker_id >= 0 else "inline"
+                    self.tracer.span_at(
+                        "serve.batch", t0 if t0 is not None else now,
+                        now - t0 if t0 is not None else 0.0, cat="serve",
+                        tid=lane, batch=batch_id, events=len(payload),
+                        busy_s=busy_s, worker=worker_id,
+                    )
                 self._retire_batch(batch_id)
             elif self._fault_mode is FaultMode.RAISE:
                 self._retire_batch(batch_id)

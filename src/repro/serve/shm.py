@@ -306,6 +306,7 @@ class _ShmTransport(_WorkerTransportBase):
         metrics: ServiceMetrics | None = None,
         fault_plan: FaultPlan | None = None,
         supervision: SupervisionConfig | None = None,
+        tracer: Any = None,
     ) -> None:
         if slot_floats < 1:
             raise ValueError("shm transport needs a positive slot size")
@@ -320,6 +321,7 @@ class _ShmTransport(_WorkerTransportBase):
         super().__init__(
             spec, n_workers, ctx_method=ctx_method, pad_to=pad_to,
             metrics=metrics, fault_plan=fault_plan, supervision=supervision,
+            tracer=tracer,
         )
 
     def _worker_target(self) -> Any:
@@ -338,8 +340,10 @@ class _ShmTransport(_WorkerTransportBase):
 
     # ------------------------------------------------------------ dispatch
     def _encode_batch(self, batch_id: int, buffers: list[np.ndarray]) -> list[Entry]:
+        tt0 = self._tracer.now()
         entries: list[Entry] = []
         leased: list[int] = []
+        n_fallback = 0
         for buf in buffers:
             if self._free and buf.size <= self._ring.slot_floats:
                 index = self._free.pop()
@@ -351,8 +355,14 @@ class _ShmTransport(_WorkerTransportBase):
                 # Oversize request or exhausted ring: this one event rides
                 # the queue (pickled), like the process transport.
                 self._metrics.n_shm_fallback += 1
+                n_fallback += 1
                 entries.append((INLINE, buf))
         self._batch_slots[batch_id] = leased
+        if self._tracer.enabled:
+            self._tracer.span_at(
+                "serve.shm.encode", tt0, self._tracer.now() - tt0, cat="serve",
+                batch=batch_id, slots=len(leased), fallbacks=n_fallback,
+            )
         return entries
 
     # ------------------------------------------------------------- replies

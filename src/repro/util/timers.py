@@ -4,6 +4,13 @@ The paper brackets every critical routine with MPI_Barrier/MPI_Wtime and
 reports the slowest rank (Table 3 footnote).  ``TimerRegistry`` reproduces
 that bookkeeping: named accumulating timers, per-step snapshots, and a
 "slowest rank" merge for the simulated-MPI runs.
+
+A registry can additionally feed a :class:`repro.obs.trace.Tracer`: set
+``registry.tracer`` (plus optional ``cat``/``rank``) and every
+``measure()`` bracket also emits a span carrying the same name, so the
+``python -m repro.obs report`` breakdown and the in-process timers are two
+views of the same brackets.  With the default :data:`~repro.obs.trace
+.NULL_TRACER` the bridge costs one attribute load per bracket.
 """
 
 from __future__ import annotations
@@ -11,28 +18,54 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.obs.trace import NullTracer, Tracer
+
+
+def _null_tracer() -> "NullTracer":
+    from repro.obs.trace import NULL_TRACER
+
+    return NULL_TRACER
 
 
 @dataclass
 class Timer:
-    """A single accumulating wall-clock timer."""
+    """A single accumulating wall-clock timer.
+
+    ``start``/``stop`` pairs may nest (recursive phases, a phase measured
+    inside itself via two code paths): only the *outermost* interval is
+    accumulated, so re-entry neither clobbers the start stamp nor double
+    counts the enclosed time.
+    """
 
     name: str
     total: float = 0.0
     count: int = 0
     _t0: float | None = None
+    _depth: int = 0
 
     def start(self) -> None:
-        self._t0 = time.perf_counter()
+        if self._depth == 0:
+            self._t0 = time.perf_counter()
+        self._depth += 1
 
     def stop(self) -> float:
-        if self._t0 is None:
+        if self._depth == 0 or self._t0 is None:
             raise RuntimeError(f"timer {self.name!r} stopped before start")
+        self._depth -= 1
+        if self._depth > 0:
+            return 0.0
         dt = time.perf_counter() - self._t0
         self.total += dt
         self.count += 1
         self._t0 = None
         return dt
+
+    @property
+    def running(self) -> bool:
+        return self._depth > 0
 
     @property
     def mean(self) -> float:
@@ -44,6 +77,13 @@ class TimerRegistry:
     """A named collection of timers with context-manager access."""
 
     timers: dict[str, Timer] = field(default_factory=dict)
+    #: Optional span-trace bridge: when set, every ``measure()`` bracket
+    #: also opens a span of the same name on this tracer.
+    tracer: Any = field(default_factory=_null_tracer, repr=False)
+    #: Span category for bridged spans ("sim" for integrator/engine phases).
+    cat: str = "sim"
+    #: Rank attribute stamped onto bridged spans (multi-rank registries).
+    rank: int | None = None
 
     def get(self, name: str) -> Timer:
         if name not in self.timers:
@@ -51,13 +91,24 @@ class TimerRegistry:
         return self.timers[name]
 
     @contextmanager
-    def measure(self, name: str):
+    def measure(self, name: str, **attrs: Any):
         t = self.get(name)
-        t.start()
-        try:
-            yield t
-        finally:
-            t.stop()
+        tracer = self.tracer
+        if tracer.enabled:
+            if self.rank is not None:
+                attrs.setdefault("rank", self.rank)
+            with tracer.span(name, cat=self.cat, **attrs):
+                t.start()
+                try:
+                    yield t
+                finally:
+                    t.stop()
+        else:
+            t.start()
+            try:
+                yield t
+            finally:
+                t.stop()
 
     def totals(self) -> dict[str, float]:
         return {k: v.total for k, v in self.timers.items()}

@@ -526,3 +526,91 @@ def test_silent_except_flags_unused_bound_exception():
         select=["silent-except"],
     )
     assert _rules(findings) == ["silent-except"]
+
+
+# ------------------------------------------------------------ span-pairing
+def test_span_pairing_flags_bare_span_call():
+    findings = _lint(
+        """
+        def phase(tracer):
+            tracer.span("gravity", cat="sim")
+            do_work()
+        """,
+        module="repro.core.sim",
+        select=["span-pairing"],
+    )
+    assert _rules(findings) == ["span-pairing"]
+    assert "never closed" in findings[0].message
+
+
+def test_span_pairing_flags_leaked_handle():
+    findings = _lint(
+        """
+        class Engine:
+            def phase(self):
+                sp = self._tracer.span("gravity")
+                do_work()
+        """,
+        module="repro.accel.engine",
+        select=["span-pairing"],
+    )
+    assert _rules(findings) == ["span-pairing"]
+
+
+def test_span_pairing_accepts_with_statement():
+    findings = _lint(
+        """
+        class Engine:
+            def phase(self):
+                with self.tracer.span("gravity", backend="numpy"):
+                    do_work()
+        """,
+        module="repro.accel.engine",
+        select=["span-pairing"],
+    )
+    assert findings == []
+
+
+def test_span_pairing_accepts_finally_closed_handle():
+    findings = _lint(
+        """
+        def phase(tracer):
+            sp = tracer.span("gravity")
+            sp.__enter__()
+            try:
+                do_work()
+            finally:
+                sp.__exit__(None, None, None)
+        """,
+        module="repro.core.sim",
+        select=["span-pairing"],
+    )
+    assert findings == []
+
+
+def test_span_pairing_ignores_unrelated_span_methods():
+    findings = _lint(
+        """
+        def fn(array):
+            return array.span("x")  # not a tracer-named receiver
+        """,
+        module="repro.core.sim",
+        select=["span-pairing"],
+    )
+    assert findings == []
+
+
+def test_determinism_covers_obs_clocks():
+    # repro.obs rides the determinism scope: absolute clocks are banned
+    # there so traces from two runs stay comparable.
+    findings = _lint(
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+        module="repro.obs.trace",
+        select=["determinism"],
+    )
+    assert _rules(findings) == ["determinism"]

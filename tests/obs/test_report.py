@@ -1,0 +1,132 @@
+"""Run reports: the Table-3 slowest-rank merge and the comm ledger,
+both driven *through the span layer* of a multi-rank simulated run."""
+
+import numpy as np
+import pytest
+
+from repro.fdps.distributed import DistributedGravity
+from repro.fdps.particles import ParticleSet
+from repro.obs.export import write_run
+from repro.obs.report import diff_reports, report_run, report_traces
+from repro.obs.trace import Tracer
+from repro.util.timers import TimerRegistry
+from tests.conftest import plummer_positions
+
+
+def _cluster(n=600, seed=31):
+    rng = np.random.default_rng(seed)
+    pos = plummer_positions(n, a=30.0, rng=rng)
+    ps = ParticleSet.from_arrays(
+        pos=pos,
+        mass=rng.uniform(0.5, 2.0, n),
+        eps=np.full(n, 0.5),
+        pid=np.arange(n),
+    )
+    ps.vel[:] = rng.normal(0, 0.5, (n, 3))
+    return ps
+
+
+def _synthetic_tracer():
+    """Hand-laid spans with known durations across 3 simulated ranks."""
+    tr = Tracer(run_id="synthetic")
+    with tr.span("step", cat="sim", step=0):
+        # Calc_Force: per-rank totals 1.0 / 3.0 / 2.0 -> slowest 3.0.
+        tr.span_at("Calc_Force", 0.0, 1.0, rank=0)
+        tr.span_at("Calc_Force", 0.0, 3.0, rank=1)
+        tr.span_at("Calc_Force", 0.0, 2.0, rank=2)
+        # Exchange_Particle: rank 0 brackets it twice (0.5 + 0.5 = 1.0).
+        tr.span_at("Exchange_Particle", 1.0, 0.5, rank=0)
+        tr.span_at("Exchange_Particle", 1.5, 0.5, rank=0)
+        tr.span_at("Exchange_Particle", 1.0, 0.25, rank=2)
+    with tr.span("step", cat="sim", step=1):
+        tr.span_at("Calc_Force", 4.0, 1.0, rank=1)
+    return tr
+
+
+def test_slowest_rank_merge_from_spans():
+    report = report_traces([_as_loaded(_synthetic_tracer())])
+    force = report.breakdown["Calc_Force"]
+    # rank 1 totals 3.0 + 1.0 = 4.0s, the slowest; mean over ranks present.
+    assert force["slowest"] == pytest.approx(4.0)
+    assert force["mean"] == pytest.approx((1.0 + 4.0 + 2.0) / 3)
+    assert force["count"] == 2  # the busiest rank bracketed it twice
+    exch = report.breakdown["Exchange_Particle"]
+    assert exch["slowest"] == pytest.approx(1.0)
+    assert exch["count"] == 2
+    # The umbrella "step" span is steps, not a breakdown row.
+    assert "step" not in report.breakdown
+    assert report.n_steps == 2
+    assert report.n_ranks == 3
+
+
+def _as_loaded(tr):
+    from repro.obs.export import LoadedTrace
+
+    out = LoadedTrace()
+    out.run_id = tr.run_id
+    out.rank = tr.rank
+    out.records = list(tr.records)
+    out.counters = dict(tr.counters)
+    out.meta = dict(tr.meta)
+    return out
+
+
+@pytest.mark.parametrize("use_torus", [False, True])
+def test_distributed_run_report_matches_in_process_accounting(
+    tmp_path, use_torus
+):
+    """Span-layer accounting == in-process TimerRegistry + CommStats."""
+    tr = Tracer(run_id="dist")
+    dg = DistributedGravity(n_ranks=8, theta=0.35, use_torus=use_torus,
+                            tracer=tr)
+    ps = _cluster()
+    decomp, locals_ = dg.scatter(ps)
+    accs = dg.forces(locals_, decomp)
+    dg.step(locals_, decomp, dt=1e-3, accs=accs)
+
+    run_dir = tmp_path / "run"
+    write_run(tr, run_dir)
+    report = report_run(run_dir)
+
+    # --- Table-3 rows: the span-rebuilt slowest-rank merge must agree with
+    # the in-process TimerRegistry reduction (spans bracket the timers, so
+    # they carry a few microseconds of extra overhead per call, never less).
+    in_process = TimerRegistry.slowest(dg.timers)
+    assert set(report.breakdown) == set(in_process)
+    for name, worst in in_process.items():
+        from_spans = report.breakdown[name]["slowest"]
+        assert from_spans >= worst * 0.999
+        assert from_spans <= worst + 0.05
+    counts = {
+        name: max(reg.get(name).count for reg in dg.timers
+                  if name in reg.timers)
+        for name in in_process
+    }
+    for name, count in counts.items():
+        assert report.breakdown[name]["count"] == count
+
+    # --- comm rows: byte-exact against the CommStats ledger, including the
+    # per-call busiest-rank sum (the bandwidth critical path).
+    assert set(report.comm) == set(dg.comm.stats)
+    for label, stats in dg.comm.stats.items():
+        row = report.comm[label]
+        assert int(row["bytes"]) == stats.bytes_total
+        assert int(row["messages"]) == stats.n_messages
+        assert int(row["critical_bytes"]) == stats.critical_bytes
+        assert int(row["calls"]) == stats.n_calls
+
+    # All simulated ranks appear in the one-process trace.
+    assert report.n_ranks == 8
+    text = report.to_text()
+    assert "Calc_Force" in text
+    assert "exchange_let" in text
+
+
+def test_report_diff_lines_up_rows():
+    a = report_traces([_as_loaded(_synthetic_tracer())])
+    b = report_traces([_as_loaded(_synthetic_tracer())])
+    b.breakdown["Calc_Force"]["slowest"] = 8.0
+    out = diff_reports(a, b)
+    assert "Calc_Force" in out
+    assert "2.00" in out  # 8.0 / 4.0 ratio column
+    assert out.splitlines()[-1].lstrip().startswith("WALL")

@@ -1,0 +1,79 @@
+"""ServiceMetrics exports: the versioned dict and the lifecycle-safe digest."""
+
+import time
+
+import pytest
+
+from repro.serve.metrics import METRICS_SCHEMA_VERSION, ServiceMetrics
+
+
+def _busy_metrics():
+    m = ServiceMetrics()
+    m.n_submitted = 6
+    m.record_batch(2)
+    m.record_batch(1)
+    m.record_completion(0, 5)
+    m.record_completion(0, 7)
+    m.add_worker_busy(0, 0.4)
+    m.add_worker_busy(1, 0.2)
+    m.exposed_wait_s = 0.1
+    m.n_worker_restarts = 1
+    m.n_batch_timeouts = 1
+    m.n_redispatch = 2
+    return m
+
+
+# ------------------------------------------------------------------ to_dict
+def test_to_dict_stamps_schema_version():
+    d = _busy_metrics().to_dict(max_batch=2, n_workers=2)
+    assert d["schema"] == METRICS_SCHEMA_VERSION
+    # ...and otherwise matches the unversioned export field for field.
+    flat = _busy_metrics().as_dict(max_batch=2, n_workers=2)
+    assert {k: v for k, v in d.items() if k != "schema"} == flat
+
+
+def test_to_dict_is_json_plain():
+    import json
+
+    json.dumps(ServiceMetrics().to_dict())
+    json.dumps(_busy_metrics().to_dict(max_batch=2, n_workers=2))
+
+
+# ------------------------------------------------------------------ summary
+def test_summary_before_any_activity():
+    # Never-started server: no window, no samples — all zeros, no raise.
+    s = ServiceMetrics().summary()
+    assert s["n_submitted"] == 0
+    assert s["worker_utilization"] == 0.0
+    assert s["latency_steps_p50"] == 0.0
+    assert s["n_faults"] == 0
+    assert s["degraded"] is False
+
+
+def test_summary_mid_flight_uses_now_as_window_end():
+    m = _busy_metrics()
+    m.started_at = time.perf_counter() - 1.0
+    assert m.stopped_at is None
+    s = m.summary(max_batch=2, n_workers=2)
+    assert 0.0 < s["worker_utilization"] <= 1.0
+    assert s["n_batches"] == 2
+    assert s["batch_occupancy"] == pytest.approx(1.5 / 2)
+    assert s["latency_steps_p50"] == pytest.approx(6.0)
+
+
+def test_summary_after_restart_reset_window():
+    # A supervisor restart can reset started_at past stopped_at; the
+    # digest must yield zero utilization, never a negative one.
+    m = _busy_metrics()
+    m.started_at = 100.0
+    m.stopped_at = 99.0
+    s = m.summary(n_workers=2)
+    assert s["worker_utilization"] == 0.0
+
+
+def test_summary_folds_fault_counters():
+    m = _busy_metrics()
+    m.n_worker_errors = 3
+    s = m.summary()
+    assert s["n_faults"] == 1 + 1 + 3  # restarts + timeouts + errors
+    assert s["n_redispatch"] == 2
