@@ -4,8 +4,12 @@
 * :mod:`repro.core.pool` — the pool-node manager: communicator split,
   round-robin dispatch of (60 pc)^3 SN regions, the 50-step return latency,
   and ID-based particle replacement (Fig. 3);
-* :mod:`repro.core.integrator` — ``SurrogateLeapfrog``, the eight-step
-  fixed-global-timestep loop of Sec. 3.2;
+* :mod:`repro.core.runner` — the run-orchestration layer: the shared step
+  contract (drift/kick primitives, the eight-phase driver, tracing) and
+  ``CoupledRunner``, the multi-rank host that couples distributed gravity
+  with one shared surrogate service;
+* :mod:`repro.core.integrator` — ``SurrogateLeapfrog``, the single-rank
+  host of the fixed-global-timestep loop of Sec. 3.2;
 * :mod:`repro.core.conventional` — ``ConventionalIntegrator``, the adaptive
   CFL-timestep baseline with direct thermal feedback (what the paper calls
   "conventional simulation" in Sec. 5.3);
@@ -13,7 +17,7 @@
 """
 
 from repro.core.events import SNEvent
-from repro.core.pool import PoolManager
+from repro.core.pool import PoolManager, PoolOccupancy
 from repro.core.integrator import SurrogateLeapfrog
 from repro.core.conventional import ConventionalIntegrator
 from repro.core.simulation import GalaxySimulation
@@ -21,7 +25,20 @@ from repro.core.simulation import GalaxySimulation
 __all__ = [
     "SNEvent",
     "PoolManager",
+    "PoolOccupancy",
     "SurrogateLeapfrog",
     "ConventionalIntegrator",
+    "CoupledRunner",
     "GalaxySimulation",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy: CoupledRunner's module imports repro.fdps.distributed, which in
+    # turn imports the step primitives from repro.core.runner — an eager
+    # import here would re-enter this package mid-initialization.
+    if name == "CoupledRunner":
+        from repro.core.runner.coupled import CoupledRunner
+
+        return CoupledRunner
+    raise AttributeError(name)

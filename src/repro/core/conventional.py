@@ -79,16 +79,14 @@ class ConventionalIntegrator(BaseIntegrator):
                     self.n_sn_events += 1
 
         with self.timers.measure("Integration"):
-            ps.vel += 0.5 * dt * self._acc
-            ps.u[:] = np.maximum(ps.u + 0.5 * dt * self._du_dt, 1e-12)
-            self._drift(dt)
+            self.kick(0.5 * dt)
+            self.drift(dt)
         self.compute_forces("1st")
         with self.timers.measure("Final_kick"):
-            ps.vel += 0.5 * dt * self._acc
-            ps.u[:] = np.maximum(ps.u + 0.5 * dt * self._du_dt, 1e-12)
+            self.kick(0.5 * dt)
 
-        self._apply_star_formation(dt)
-        self._apply_cooling(dt)
+        self.apply_star_formation(dt)
+        self.apply_cooling(dt)
 
         self.time += dt
         self.step_count += 1

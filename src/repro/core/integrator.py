@@ -15,6 +15,15 @@
    changes;
 8. repeat.
 
+The loop itself — phase order, timer brackets, kick/drift arithmetic, pool
+flush/collect placement — lives in :mod:`repro.core.runner.step`
+(:func:`~repro.core.runner.step.run_surrogate_step`); this module supplies
+the single-rank host: :class:`BaseIntegrator` implements the physics hooks
+around a shared :class:`repro.accel.ForceEngine`, and
+:class:`SurrogateLeapfrog` adds the SN dispatch/collect hooks over one
+:class:`~repro.core.pool.PoolManager`.  The multi-rank host sharing the
+same contract is :class:`repro.core.runner.CoupledRunner`.
+
 All spatial work goes through one :class:`repro.accel.ForceEngine`: a single
 tree build serves the gravity walk, one neighbor grid serves every
 kernel-size sweep, the hydro force pass, the SN-region extraction of step
@@ -34,6 +43,12 @@ import numpy as np
 
 from repro.accel import ForceEngine
 from repro.core.pool import PoolManager
+from repro.core.runner.step import (
+    SurrogateStepLoop,
+    energy_kick,
+    leapfrog_drift,
+    leapfrog_kick,
+)
 from repro.fdps.domain import DomainDecomposition, process_grid
 from repro.fdps.interaction import InteractionCounter
 from repro.fdps.particles import ParticleSet, ParticleType
@@ -72,7 +87,12 @@ class IntegratorConfig:
 
 
 class BaseIntegrator:
-    """Physics operators around a shared :class:`ForceEngine` pipeline."""
+    """Physics operators around a shared :class:`ForceEngine` pipeline.
+
+    Implements the physics half of the step contract of
+    :mod:`repro.core.runner.step`: forces, kicks, drift, cooling, star
+    formation, and the step-(7) hydro refresh.
+    """
 
     def __init__(
         self,
@@ -109,6 +129,11 @@ class BaseIntegrator:
     def _acc(self) -> np.ndarray:
         return self._grav_acc + self._hydro_acc
 
+    @property
+    def forces_ready(self) -> bool:
+        """True once stored forces are valid for the current membership."""
+        return self._first_forces_done
+
     # --------------------------------------------------------------- forces
     def _gravity(self, label: str) -> np.ndarray:
         return self.engine.gravity(self.ps, label)
@@ -127,13 +152,19 @@ class BaseIntegrator:
         self._hydro_acc, self._du_dt, self._vsig = self._hydro(label)
         self._first_forces_done = True
 
-    def _drift(self, dt: float) -> None:
+    def kick(self, dt: float) -> None:
+        """Velocity + internal-energy kick over ``dt`` (callers pass the
+        half step; the primitives keep the historical float grouping)."""
+        leapfrog_kick(self.ps.vel, self._acc, dt)
+        energy_kick(self.ps.u, self._du_dt, dt)
+
+    def drift(self, dt: float) -> None:
         """Advance positions; every spatial structure is now stale."""
-        self.ps.pos += dt * self.ps.vel
+        leapfrog_drift(self.ps.pos, self.ps.vel, dt)
         self.engine.notify_positions_changed()
 
     # -------------------------------------------------------------- operators
-    def _apply_cooling(self, dt: float) -> None:
+    def apply_cooling(self, dt: float) -> None:
         # Cooling only moves u: the spatial caches stay valid.
         if not self.cfg.enable_cooling:
             return
@@ -146,7 +177,7 @@ class BaseIntegrator:
                 ps.u[gas], ps.dens[gas], dt, z=ps.zmet[gas].sum(axis=1)
             )
 
-    def _apply_star_formation(self, dt: float) -> None:
+    def apply_star_formation(self, dt: float) -> None:
         if not self.cfg.enable_star_formation:
             return
         with self.timers.measure("Star Formation"):
@@ -158,6 +189,25 @@ class BaseIntegrator:
             mass_formed = float(sum(e.star_masses.sum() for e in events))
             self.sf_history.append((self.time, mass_formed))
             self._replace_particle_set(new_ps)
+
+    def refresh_hydro(self) -> None:
+        """Step (7): recompute hydro after the internal-energy changes.
+
+        The gravity computed in step (3) is at the current (post-drift)
+        positions, so the next first kick can reuse it; only the hydro state
+        is stale once cooling/feedback touched u.  When positions are
+        untouched since (3) the engine re-evaluates on the cached pair lists
+        (no h solve, no neighbor search); if SN replacements moved particles
+        it falls back to a full pass, and if star formation changed the
+        membership ``_replace_particle_set`` already flagged a full recompute
+        for the next step.
+        """
+        if not self._first_forces_done:
+            return
+        refreshed = self.engine.refresh_hydro(self.ps, "2nd")
+        if refreshed is None:
+            refreshed = self._hydro("2nd")
+        self._hydro_acc, self._du_dt, self._vsig = refreshed
 
     def _replace_particle_set(self, new_ps: ParticleSet) -> None:
         """Swap in a set with different membership; force arrays re-size."""
@@ -196,8 +246,13 @@ class BaseIntegrator:
         }
 
 
-class SurrogateLeapfrog(BaseIntegrator):
-    """The paper's scheme: fixed dt_global + pool-node surrogate for SNe."""
+class SurrogateLeapfrog(SurrogateStepLoop, BaseIntegrator):
+    """The paper's scheme: fixed dt_global + pool-node surrogate for SNe.
+
+    The single-rank host of :func:`repro.core.runner.step
+    .run_surrogate_step`; the hooks below are the SN-pipeline half of the
+    step contract.
+    """
 
     def __init__(
         self,
@@ -212,66 +267,47 @@ class SurrogateLeapfrog(BaseIntegrator):
         self.pool = pool
         self.decomp: DomainDecomposition | None = None
 
-    # ------------------------------------------------------------------ step
-    def step(self) -> None:
-        with self.tracer.span("step", step=self.step_count):
-            self._step_inner()
-
-    def _step_inner(self) -> None:
-        cfg = self.cfg
-        dt = cfg.dt
+    # ------------------------------------------------------------------ hooks
+    def identify_sne(self, dt: float) -> np.ndarray:
+        """Step (1): indices of stars exploding in [t, t + dt)."""
         ps = self.ps
+        stars = np.flatnonzero(ps.where_type(ParticleType.STAR))
+        local = exploding_between(ps.tsn[stars], -np.inf, self.time + dt)
+        return stars[local]
 
-        # (1) identify SNe in [t, t + dt).  The window is open below so an
-        # *overdue* tsn also fires: dispatch marks a star fired with inf,
-        # hence a finite tsn in the past can only mean a checkpoint restore
-        # re-scheduled an SN whose prediction was in flight at save time.
-        with self.timers.measure("Identify_SNe"):
-            stars = np.flatnonzero(ps.where_type(ParticleType.STAR))
-            local = exploding_between(ps.tsn[stars], -np.inf, self.time + dt)
-            exploding = stars[local]
+    def send_sne(self, exploding: np.ndarray) -> None:
+        """Step (2): ship each SN region to a pool node.  The cube query
+        runs on the engine's cached gas grid when one is valid (positions
+        are unchanged since the last force pass), else it falls back to a
+        scan."""
+        ps, cfg = self.ps, self.cfg
+        for si in exploding:
+            center = ps.pos[si].copy()
+            region, _idx = extract_region(
+                ps, center, cfg.region_side, index=self.engine.index
+            )
+            self.pool.dispatch(
+                region, center, int(ps.pid[si]), float(ps.tsn[si]), self.step_count
+            )
+            ps.tsn[si] = np.inf  # fires exactly once
+            self.n_sn_events += 1
 
-        # (2) ship each SN region to a pool node.  The cube query runs on
-        # the engine's cached gas grid when one is valid (positions are
-        # unchanged since the last force pass), else it falls back to a scan.
-        with self.timers.measure("Send_SNe"):
-            for si in exploding:
-                center = ps.pos[si].copy()
-                region, _idx = extract_region(
-                    ps, center, cfg.region_side, index=self.engine.index
-                )
-                self.pool.dispatch(
-                    region, center, int(ps.pid[si]), float(ps.tsn[si]), self.step_count
-                )
-                ps.tsn[si] = np.inf  # fires exactly once
-                self.n_sn_events += 1
-            # Ship due batches to the pool workers before the force pass so
-            # inference runs overlapped with (3) instead of landing on the
-            # collect in (4).
-            self.pool.flush(self.step_count)
+    def flush_pools(self) -> None:
+        self.pool.flush(self.step_count)
 
-        # (3) KDK without feedback energy.
-        if not self._first_forces_done:
-            self.compute_forces("1st")
-        with self.timers.measure("Integration"):
-            ps.vel += 0.5 * dt * self._acc
-            ps.u[:] = np.maximum(ps.u + 0.5 * dt * self._du_dt, 1e-12)
-            self._drift(dt)
-        self.compute_forces("1st")
-        with self.timers.measure("Final_kick"):
-            ps.vel += 0.5 * dt * self._acc
-            ps.u[:] = np.maximum(ps.u + 0.5 * dt * self._du_dt, 1e-12)
+    def receive_sne(self) -> None:
+        """Step (4): merge due predictions back by particle ID."""
+        n_replaced = 0
+        for _event, predicted in self.pool.collect(self.step_count):
+            n_replaced += self.ps.replace_by_pid(predicted)
+        if n_replaced:
+            # Predicted particles land with new coordinates.
+            self.engine.notify_positions_changed()
 
-        # (4) receive due predictions, replace by particle ID.
-        with self.timers.measure("Receive_SNe"):
-            n_replaced = 0
-            for _event, predicted in self.pool.collect(self.step_count):
-                n_replaced += self.ps.replace_by_pid(predicted)
-            if n_replaced:
-                # Predicted particles land with new coordinates.
-                self.engine.notify_positions_changed()
-
-        # (5) domain decomposition / particle exchange bookkeeping.
+    def redistribute(self, dt: float) -> None:
+        """Step (5): decomposition bookkeeping (the single-process run keeps
+        all particles but still computes the decomposition when enabled)."""
+        cfg = self.cfg
         if cfg.n_domains > 1:
             with self.timers.measure("Exchange_Particle"):
                 grid = process_grid(cfg.n_domains)
@@ -282,33 +318,3 @@ class SurrogateLeapfrog(BaseIntegrator):
                     sample=20000,
                     index=self.engine.index,
                 )
-
-        # (6) star formation and cooling.
-        self._apply_star_formation(dt)
-        self._apply_cooling(dt)
-
-        # (7) recompute hydro after the internal-energy changes.  The
-        # gravity computed in (3) is at the current (post-drift) positions,
-        # so the next first kick can reuse it; only the hydro state is stale
-        # once cooling/feedback touched u.  When positions are untouched
-        # since (3) the engine re-evaluates on the cached pair lists (no
-        # h solve, no neighbor search); if SN replacements moved particles
-        # it falls back to a full pass, and if star formation changed the
-        # membership _replace_particle_set already flagged a full recompute
-        # for the next step.
-        if self._first_forces_done:
-            refreshed = self.engine.refresh_hydro(self.ps, "2nd")
-            if refreshed is None:
-                refreshed = self._hydro("2nd")
-            self._hydro_acc, self._du_dt, self._vsig = refreshed
-
-        self.time += dt
-        self.step_count += 1
-
-    def run(self, n_steps: int) -> None:
-        for _ in range(n_steps):
-            self.step()
-
-    def run_until(self, t_end: float, max_steps: int = 10_000_000) -> None:
-        while self.time < t_end and self.step_count < max_steps:
-            self.step()

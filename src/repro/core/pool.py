@@ -19,6 +19,16 @@ to the next free pool node, :meth:`collect` merges the prediction back
   :class:`~repro.serve.OverflowPolicy` (queue / block / spill / oracle)
   instead of the old silent counter — no SN event is ever dropped without
   at least an oracle-fallback prediction.
+
+Multi-rank coupling (:class:`repro.core.runner.CoupledRunner`) runs one
+``PoolManager`` *per main rank* as a client of one shared server: requests
+are rank-tagged via ``client_id`` (so each rank's :meth:`collect` pops only
+its own events), the pool-node occupancy calendar is shared through one
+:class:`PoolOccupancy` (no double-booking across ranks), and
+``pool_rank_base`` places the pool nodes after *all* main ranks in the
+world communicator — every rank's traffic joins the same ``pool_p2p``
+ledger.  The defaults (private occupancy, ``pool_rank_base=1``,
+``client_id=None``) reproduce the single-rank layout byte-for-byte.
 """
 
 from __future__ import annotations
@@ -32,6 +42,33 @@ from repro.fdps.comm import SimComm
 from repro.fdps.particles import ParticleSet
 from repro.serve import OverflowPolicy, SurrogateServer
 from repro.surrogate.model import SedovBlastOracle, SNSurrogate
+
+
+@dataclass
+class PoolOccupancy:
+    """The pool nodes' shared busy calendar (round-robin, per-step grain).
+
+    One instance per *server*: single-rank runs keep a private one, the
+    coupled runner passes one object to every rank's :class:`PoolManager`
+    so two ranks can never book the same pool node for overlapping
+    latency windows.
+    """
+
+    n_pool: int
+    busy_until: dict[int, int] = field(default_factory=dict)
+    next_rank: int = 0
+
+    def free_rank(self, step: int) -> int | None:
+        """First pool rank idle at ``step`` (round-robin scan)."""
+        for k in range(self.n_pool):
+            cand = (self.next_rank + k) % self.n_pool
+            if self.busy_until.get(cand, -1) <= step:
+                return cand
+        return None
+
+    def book(self, rank: int, until_step: int) -> None:
+        self.next_rank = (rank + 1) % self.n_pool
+        self.busy_until[rank] = until_step
 
 
 @dataclass
@@ -57,9 +94,16 @@ class PoolManager:
     #: Surrogate used by the drop-to-oracle policy; defaults to a Sedov
     #: oracle matching the main surrogate's grid at ``horizon``.
     fallback_oracle: SNSurrogate | None = None
+    #: World rank of pool node 0 on ``comm``.  The single-rank layout puts
+    #: the pool right after the one main rank (base 1); the coupled layout
+    #: places all ``n_ranks`` main ranks first (base ``n_ranks``).
+    pool_rank_base: int = 1
+    #: Client tag for multi-rank runs: when set, the server hands this
+    #: manager only its own events back (see ``SurrogateServer.collect``).
+    client_id: int | None = None
+    #: Shared busy calendar; None builds a private one (single-rank layout).
+    occupancy: PoolOccupancy | None = None
 
-    _busy_until: dict[int, int] = field(default_factory=dict)
-    _next: int = 0
     events: list[SNEvent] = field(default_factory=list)
     _by_event_id: dict[int, SNEvent] = field(default_factory=dict, repr=False)
     _owns_server: bool = field(default=False, repr=False)
@@ -67,8 +111,12 @@ class PoolManager:
     def __post_init__(self) -> None:
         if self.n_pool < 1:
             raise ValueError("need at least one pool node")
-        if self.comm is not None and self.comm.n_ranks < 1 + self.n_pool:
+        if self.comm is not None and self.comm.n_ranks < self.pool_rank_base + self.n_pool:
             raise ValueError("communicator too small for main + pool ranks")
+        if self.occupancy is None:
+            self.occupancy = PoolOccupancy(n_pool=self.n_pool)
+        elif self.occupancy.n_pool != self.n_pool:
+            raise ValueError("shared occupancy sized for a different pool")
         self.overflow_policy = OverflowPolicy.parse(self.overflow_policy)
         if self.server is None:
             if self.surrogate is None:
@@ -88,11 +136,7 @@ class PoolManager:
 
     def free_pool_rank(self, step: int) -> int | None:
         """First pool rank idle at ``step`` (round-robin scan)."""
-        for k in range(self.n_pool):
-            cand = (self._next + k) % self.n_pool
-            if self._busy_until.get(cand, -1) <= step:
-                return cand
-        return None
+        return self.occupancy.free_rank(step)
 
     # --------------------------------------------------------------- dispatch
     def dispatch(
@@ -115,11 +159,12 @@ class PoolManager:
                 # Legacy: steal the next node anyway — with the paper's
                 # sizing (n_pool = latency) this only happens when >1 SN
                 # fires per step per pool node.
-                rank = self._next % self.n_pool
+                rank = self.occupancy.next_rank % self.n_pool
                 handling = "queued"
             elif policy is OverflowPolicy.BLOCK:
-                rank = min(self._busy_until, key=self._busy_until.get)
-                effective_step = self._busy_until[rank]
+                busy = self.occupancy.busy_until
+                rank = min(busy, key=busy.get)
+                effective_step = busy[rank]
                 metrics.n_blocked += 1
                 metrics.blocked_stall_steps += effective_step - step
                 handling = "blocked"
@@ -132,8 +177,7 @@ class PoolManager:
                 metrics.n_oracle_fallback += 1
                 handling = "oracle"
         if rank >= 0:
-            self._next = (rank + 1) % self.n_pool
-            self._busy_until[rank] = effective_step + self.latency_steps
+            self.occupancy.book(rank, effective_step + self.latency_steps)
         return_step = effective_step + self.latency_steps
 
         request = self.server.submit(
@@ -143,6 +187,7 @@ class PoolManager:
             dispatch_step=int(step),
             return_step=int(return_step),
             base_seed=self.seed,
+            client=self.client_id,
         )
         if handling == "spilled":
             self.server.predict_inline(request)
@@ -167,7 +212,7 @@ class PoolManager:
         if self.comm is not None and rank >= 0:
             self.comm.send(
                 self.main_rank,
-                1 + rank,
+                self.pool_rank_base + rank,
                 request.to_buffer(),
                 tag=event.dispatch_step,
                 label="pool_p2p",
@@ -216,19 +261,19 @@ class PoolManager:
         here and the wait is charged to the service metrics.
         """
         out: list[tuple[SNEvent, ParticleSet]] = []
-        for response in self.server.collect(step):
+        for response in self.server.collect(step, client=self.client_id):
             event = self._by_event_id.pop(response.event_id)
             event.returned = True
             if self.comm is not None and event.pool_rank >= 0:
                 self.comm.send(
-                    1 + event.pool_rank,
+                    self.pool_rank_base + event.pool_rank,
                     self.main_rank,
                     response.to_buffer(),
                     tag=event.return_step,
                     label="pool_p2p",
                 )
                 # drain the mailboxes so the simulated comm doesn't grow
-                self.comm.recv(1 + event.pool_rank)
+                self.comm.recv(self.pool_rank_base + event.pool_rank)
                 self.comm.recv(self.main_rank)
             out.append((event, response.particles))
         return out

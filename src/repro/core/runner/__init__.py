@@ -1,0 +1,49 @@
+"""``repro.core.runner`` — the run-orchestration layer.
+
+One step contract, two hosts:
+
+* :mod:`repro.core.runner.step` owns the leapfrog primitives
+  (:func:`leapfrog_kick` / :func:`energy_kick` / :func:`leapfrog_drift`),
+  the eight-phase surrogate driver :func:`run_surrogate_step`, and the
+  :class:`SurrogateStepLoop` run-control mixin.  Drift/kick arithmetic,
+  pool flush/collect placement, and the Table-3 timer brackets live there
+  and nowhere else — both ``repro.core.integrator.SurrogateLeapfrog`` and
+  ``repro.fdps.distributed.DistributedGravity.step`` call these primitives.
+* :mod:`repro.core.runner.coupled` provides :class:`CoupledRunner`, the
+  multi-rank host: distributed domain decomposition and particle-exchange
+  bytes, cross-rank SN-region ghosts (``region_ghost`` ledger label), and
+  per-rank :class:`~repro.core.pool.PoolManager` clients sharing one
+  :class:`~repro.serve.SurrogateServer` — bit-identical to the single-rank
+  integrator on the same particle set.
+
+``CoupledRunner`` is re-exported lazily: it imports the integrator module
+(which imports this package for the step contract), so an eager import here
+would be circular.
+"""
+
+from __future__ import annotations
+
+from repro.core.runner.step import (
+    SurrogateStepLoop,
+    energy_kick,
+    leapfrog_drift,
+    leapfrog_kick,
+    run_surrogate_step,
+)
+
+__all__ = [
+    "CoupledRunner",
+    "SurrogateStepLoop",
+    "energy_kick",
+    "leapfrog_drift",
+    "leapfrog_kick",
+    "run_surrogate_step",
+]
+
+
+def __getattr__(name: str):
+    if name == "CoupledRunner":
+        from repro.core.runner.coupled import CoupledRunner
+
+        return CoupledRunner
+    raise AttributeError(name)

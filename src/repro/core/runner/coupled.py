@@ -1,0 +1,324 @@
+"""``CoupledRunner`` — the multi-rank host of the surrogate step contract.
+
+This couples the two halves of the paper's architecture that previously ran
+only in isolation: the distributed FDPS pipeline (domain decomposition,
+particle exchange, LET-based gravity — :mod:`repro.fdps.distributed`) and
+the surrogate inference service (:mod:`repro.serve`).  One
+:class:`CoupledRunner` is ``n_ranks`` simulated main ranks plus ``n_pool``
+shared pool ranks on two ledgers:
+
+* the *driver communicator* (``DistributedGravity.comm``) carries domain
+  migration (``exchange_particles``), LET traffic, and the new cross-rank
+  SN-region ghosts (``region_ghost``);
+* the *pool communicator* carries every rank's SN-region round trips under
+  the ``pool_p2p`` label, with pool ranks placed after all main ranks
+  (``pool_rank_base = n_ranks``).
+
+Bit-identity with the single-rank :class:`~repro.core.integrator
+.SurrogateLeapfrog` is a hard contract, kept by construction:
+
+* the canonical particle state stays one global pid-sorted
+  :class:`~repro.fdps.particles.ParticleSet`; per-rank local sets are
+  materialized views (copies) used for the communication phases, so the
+  exchanged bytes are real while the physics state never round-trips
+  through the wire format;
+* SN events are dispatched in **global index order** (= pid order, exactly
+  the single-rank order) through each owner rank's
+  :class:`~repro.core.pool.PoolManager`; all managers share one
+  :class:`~repro.serve.SurrogateServer` and one
+  :class:`~repro.core.pool.PoolOccupancy`, so event ids, pool-node
+  bookings, return steps and per-event Gibbs seeds
+  (``event_rng(base_seed, star_pid, dispatch_step)`` — rank-free) are
+  identical;
+* a region whose cube crosses the owner's domain box is completed with
+  ghost particles pulled through
+  :meth:`~repro.fdps.distributed.DistributedGravity.exchange_region_ghosts`
+  and pid-sorted, so its content *and order* match a single-rank
+  extraction from the global set;
+* received predictions are merged across ranks and applied in event-id
+  order — the single-rank application order.
+
+``force_mode="global"`` (default) evaluates forces on the global
+:class:`~repro.accel.ForceEngine` — bit-identical by construction, with
+every communication phase still paid for on the ledgers.
+``force_mode="distributed"`` runs gravity through the full per-rank
+tree + LET pipeline instead (tree-code-accurate, not bitwise-equal): the
+mode the coupled scaling benchmark measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.integrator import BaseIntegrator, IntegratorConfig
+from repro.core.pool import PoolManager, PoolOccupancy
+from repro.core.runner.step import SurrogateStepLoop
+from repro.fdps.comm import SimComm
+from repro.fdps.distributed import DistributedGravity
+from repro.fdps.particles import ParticleSet, ParticleType
+from repro.physics.cooling import CoolingModel
+from repro.physics.star_formation import StarFormationModel
+from repro.physics.stellar import exploding_between
+from repro.serve import OverflowPolicy, SurrogateServer
+from repro.surrogate.voxelize import extract_region
+from repro.util.timers import TimerRegistry
+
+
+class CoupledRunner(SurrogateStepLoop, BaseIntegrator):
+    """Multi-rank surrogate-coupled integration over one shared service.
+
+    Parameters
+    ----------
+    ps : the global particle set (must be pid-sorted with unique pids —
+        the invariant that makes global index order, pid order, and the
+        single-rank dispatch order one and the same thing).
+    server : the shared :class:`~repro.serve.SurrogateServer`; every
+        rank's :class:`~repro.core.pool.PoolManager` is a client of it.
+    n_ranks : number of simulated main ranks.
+    use_torus : route the driver communicator's collectives through the
+        3-phase 3D torus alltoallv.
+    force_mode : ``"global"`` (bit-identical, default) or
+        ``"distributed"`` (per-rank trees + LET exchange for gravity).
+    """
+
+    def __init__(
+        self,
+        ps: ParticleSet,
+        server: SurrogateServer,
+        n_ranks: int,
+        config: IntegratorConfig | None = None,
+        cooling: CoolingModel | None = None,
+        star_formation: StarFormationModel | None = None,
+        tracer=None,
+        use_torus: bool = False,
+        force_mode: str = "global",
+        overflow_policy: OverflowPolicy | str = OverflowPolicy.QUEUE,
+        horizon: float | None = None,
+    ) -> None:
+        if n_ranks < 1:
+            raise ValueError("need at least one main rank")
+        if force_mode not in ("global", "distributed"):
+            raise ValueError(f"unknown force_mode {force_mode!r}")
+        if len(ps) and np.any(np.diff(ps.pid) <= 0):
+            raise ValueError(
+                "CoupledRunner requires a pid-sorted particle set with "
+                "unique pids (global index order must equal pid order)"
+            )
+        super().__init__(ps, config, cooling, star_formation, tracer=tracer)
+        cfg = self.cfg
+        self.n_ranks = int(n_ranks)
+        self.force_mode = force_mode
+        self.server = server
+        self.driver = DistributedGravity(
+            n_ranks=self.n_ranks,
+            theta=cfg.theta,
+            n_g=cfg.n_g,
+            leaf_size=cfg.leaf_size,
+            use_torus=use_torus,
+            mixed_precision=cfg.mixed_precision,
+            backend=cfg.backend,
+            tracer=self.tracer,
+        )
+        #: Pool traffic rides its own world: ``n_ranks`` mains + the pool.
+        self.pool_comm = SimComm(self.n_ranks + cfg.n_pool, tracer=self.tracer)
+        self.occupancy = PoolOccupancy(n_pool=cfg.n_pool)
+        self.pools = [
+            PoolManager(
+                n_pool=cfg.n_pool,
+                latency_steps=cfg.latency_steps,
+                seed=cfg.seed,
+                comm=self.pool_comm,
+                main_rank=r,
+                server=server,
+                overflow_policy=overflow_policy,
+                horizon=horizon,
+                pool_rank_base=self.n_ranks,
+                client_id=r,
+                occupancy=self.occupancy,
+            )
+            for r in range(self.n_ranks)
+        ]
+        self.decomp, self.owner = self.driver.decompose(ps)
+
+    # -------------------------------------------------------------- locals
+    def _locals(self) -> list[ParticleSet]:
+        """Per-rank copies of the canonical set (current ownership)."""
+        return [self.ps.select(self.owner == r) for r in range(self.n_ranks)]
+
+    # ---------------------------------------------------------------- hooks
+    def identify_sne(self, dt: float) -> np.ndarray:
+        """Step (1): global indices of stars exploding in [t, t + dt)."""
+        ps = self.ps
+        stars = np.flatnonzero(ps.where_type(ParticleType.STAR))
+        local = exploding_between(ps.tsn[stars], -np.inf, self.time + dt)
+        return stars[local]
+
+    def send_sne(self, exploding: np.ndarray) -> None:
+        """Step (2): complete each owner's region with cross-rank ghosts,
+        then dispatch in global index order through the owner's pool client.
+
+        The ghost exchange runs first (one collective for all of this
+        step's events); the dispatch loop then walks events in ascending
+        global index — pid order, i.e. the single-rank dispatch order — so
+        the shared server assigns the same event ids and the shared
+        occupancy books the same pool nodes as a single-rank run.
+        """
+        if len(exploding) == 0:
+            return
+        ps, cfg = self.ps, self.cfg
+        owners = [int(self.owner[si]) for si in exploding]
+        centers = [ps.pos[si].copy() for si in exploding]
+        locals_ = self._locals()
+        ghosts = self.driver.exchange_region_ghosts(
+            locals_, list(zip(owners, centers, strict=True)), cfg.region_side
+        )
+        for k, si in enumerate(exploding):
+            r = owners[k]
+            region, _idx = extract_region(
+                locals_[r],
+                centers[k],
+                cfg.region_side,
+                domain=self.decomp.domain_box(r),
+                ghosts=ghosts[k],
+            )
+            self.pools[r].dispatch(
+                region, centers[k], int(ps.pid[si]), float(ps.tsn[si]),
+                self.step_count,
+            )
+            ps.tsn[si] = np.inf  # fires exactly once
+            self.n_sn_events += 1
+
+    def flush_pools(self) -> None:
+        # Server ticks are idempotent within a step; every client flushes so
+        # the first one (whichever rank dispatched) ships the due batches.
+        for pool in self.pools:
+            pool.flush(self.step_count)
+
+    def receive_sne(self) -> None:
+        """Step (4): gather every rank's due predictions, apply in event-id
+        order — the order the single-rank server would have delivered."""
+        pairs: list = []
+        for pool in self.pools:
+            pairs.extend(pool.collect(self.step_count))
+        pairs.sort(key=lambda ep: ep[0].event_id)
+        n_replaced = 0
+        for _event, predicted in pairs:
+            n_replaced += self.ps.replace_by_pid(predicted)
+        if n_replaced:
+            self.engine.notify_positions_changed()
+
+    def redistribute(self, dt: float) -> None:
+        """Step (5): genuine re-decomposition and particle migration.
+
+        The decomposition is refit on the (post-drift) global positions and
+        the per-rank local sets migrate their emigrants through the driver's
+        alltoallv — full packed particles, charged to the
+        ``exchange_particles`` ledger exactly as a real multi-rank run pays
+        them.  The canonical state never leaves ``self.ps``; only the owner
+        map changes.
+        """
+        locals_ = self._locals()
+        weights = (
+            self.engine.work_weights(self.ps)
+            if self.force_mode == "global" and self.forces_ready
+            else None
+        )
+        self.decomp, self.owner = self.driver.decompose(self.ps, weights=weights)
+        self.driver.exchange_particles(locals_, self.decomp)
+
+    # --------------------------------------------------------------- forces
+    def compute_forces(self, label: str = "1st") -> None:
+        if self.force_mode == "global":
+            super().compute_forces(label)
+            return
+        # Distributed gravity: per-rank cached trees + LET imports.  The
+        # local sets are fresh copies, so the per-rank spatial caches from
+        # the previous pass never match — invalidate rather than risk reuse.
+        for index in self.driver.indices:
+            index.invalidate_all()
+        locals_ = self._locals()
+        if self.cfg.self_gravity:
+            accs = self.driver.forces(locals_, self.decomp, counter=self.counter)
+            pid = np.concatenate([loc.pid for loc in locals_])
+            acc = np.concatenate(accs) if len(pid) else np.zeros((0, 3))
+            order = np.argsort(pid, kind="stable")
+            # acc[order] is pid-sorted == row order of the canonical set.
+            self._grav_acc = acc[order]
+        else:
+            self._grav_acc = np.zeros((len(self.ps), 3))
+        self._hydro_acc, self._du_dt, self._vsig = self._hydro(label)
+        self._first_forces_done = True
+
+    # ------------------------------------------------------------ membership
+    def _replace_particle_set(self, new_ps: ParticleSet) -> None:
+        """Star formation changed the membership: remap the owner array.
+
+        Surviving particles keep their owner (found by pid in the old,
+        sorted, pid array); newly formed stars are assigned by position
+        against the current decomposition.
+        """
+        old_pid = self.ps.pid
+        super()._replace_particle_set(new_ps)
+        new_pid = new_ps.pid
+        slot = np.searchsorted(old_pid, new_pid)
+        slot_c = np.minimum(slot, max(len(old_pid) - 1, 0))
+        survived = (
+            (slot < len(old_pid)) & (old_pid[slot_c] == new_pid)
+            if len(old_pid)
+            else np.zeros(len(new_pid), dtype=bool)
+        )
+        owner = np.empty(len(new_pid), dtype=np.int64)
+        owner[survived] = self.owner[slot[survived]]
+        fresh = ~survived
+        if fresh.any():
+            owner[fresh] = self.decomp.assign(new_ps.pos[fresh])
+        self.owner = owner
+
+    # ------------------------------------------------------------ accounting
+    def comm_stats(self) -> dict:
+        """Merged byte ledger: driver labels + the shared pool traffic.
+
+        The label sets are disjoint by construction (``pool_p2p`` lives on
+        the pool communicator; migration/LET/ghost labels on the driver's).
+        """
+        merged = dict(self.driver.comm.stats)
+        merged.update(self.pool_comm.stats)
+        return merged
+
+    def distributed_timings(self) -> dict[str, float]:
+        """Slowest-rank merge of the driver's per-rank phase timers."""
+        return TimerRegistry.slowest(self.driver.timers)
+
+    def pool_summary(self) -> dict:
+        events = [e for pool in self.pools for e in pool.events]
+        returned = sum(1 for e in events if e.returned)
+        return {
+            "n_events": len(events),
+            "n_returned": returned,
+            "n_in_flight": self.server.n_outstanding,
+            "n_overflow": self.server.metrics.n_overflow,
+            "total_region_particles": sum(e.n_region_particles for e in events),
+            "total_region_bytes": sum(e.region_bytes for e in events),
+            "per_rank_events": [len(pool.events) for pool in self.pools],
+            "service": self.server.metrics_dict(),
+        }
+
+    def diagnostics(self) -> dict:
+        out = super().diagnostics()
+        out["n_ranks"] = self.n_ranks
+        out["force_mode"] = self.force_mode
+        out["rank_counts"] = np.bincount(
+            self.owner, minlength=self.n_ranks
+        ).tolist()
+        return out
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut down the shared service once (all pools are its clients)."""
+        self.server.close()
+
+    def __enter__(self) -> "CoupledRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

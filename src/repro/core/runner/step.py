@@ -1,0 +1,143 @@
+"""The shared step contract: primitives + the eight-phase surrogate driver.
+
+Before this layer existed the leapfrog arithmetic and the surrogate loop's
+phase structure were inlined twice — once in
+``repro.core.integrator.SurrogateLeapfrog`` and once in
+``repro.fdps.distributed.DistributedGravity.step`` — a silent-correctness
+hazard: a kick reordered in one copy but not the other breaks the
+bit-identity contract between the single-rank and distributed paths without
+any test naming the divergence.  Now exactly one module owns both:
+
+* :func:`leapfrog_kick` / :func:`energy_kick` / :func:`leapfrog_drift` are
+  the in-place update primitives.  They take the *pre-multiplied* interval
+  (callers pass ``0.5 * dt`` for a half kick), which keeps the float
+  arithmetic literally identical to the historical inline form
+  ``vel += 0.5 * dt * acc`` — Python's left-associativity already grouped
+  it as ``(0.5 * dt) * acc``.
+* :func:`run_surrogate_step` is the paper's Sec. 3.2 eight-step loop as a
+  driver over a host object (the *step contract* below).  The timer
+  brackets — and therefore the Table-3 breakdown rows and the traced
+  spans — live here and only here; single-rank and coupled hosts cannot
+  drift apart in labels or phase order.
+* :class:`SurrogateStepLoop` supplies ``step``/``run``/``run_until`` (the
+  umbrella ``step`` span included) to any host.
+
+The step contract
+-----------------
+A host provides: ``cfg`` (an ``IntegratorConfig``), ``timers`` (a
+:class:`repro.util.timers.TimerRegistry`), ``tracer``, ``time`` /
+``step_count`` (advanced by the driver), ``forces_ready`` and
+``compute_forces(label)``, plus the phase hooks ``identify_sne(dt)``,
+``send_sne(exploding)``, ``flush_pools()``, ``kick(dt)``, ``drift(dt)``,
+``receive_sne()``, ``redistribute(dt)``, ``apply_star_formation(dt)``,
+``apply_cooling(dt)`` and ``refresh_hydro()``.  ``BaseIntegrator``
+implements the physics half once; ``SurrogateLeapfrog`` (single rank) and
+``CoupledRunner`` (multi rank) differ only in how they identify/ship/collect
+SN regions and how they decompose the domain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SurrogateStepLoop",
+    "energy_kick",
+    "leapfrog_drift",
+    "leapfrog_kick",
+    "run_surrogate_step",
+]
+
+#: Internal-energy floor applied by every kick (the historical inline value).
+U_FLOOR = 1e-12
+
+
+# ------------------------------------------------------------- primitives
+def leapfrog_kick(vel: np.ndarray, acc: np.ndarray, dt: float) -> None:
+    """In-place velocity kick over ``dt`` (pass ``0.5 * dt`` for a half kick)."""
+    vel += dt * acc
+
+
+def energy_kick(
+    u: np.ndarray, du_dt: np.ndarray, dt: float, floor: float = U_FLOOR
+) -> None:
+    """In-place internal-energy kick over ``dt``, floored at ``floor``."""
+    u[:] = np.maximum(u + dt * du_dt, floor)
+
+
+def leapfrog_drift(pos: np.ndarray, vel: np.ndarray, dt: float) -> None:
+    """In-place position drift over ``dt`` (spatial caches are now stale —
+    the caller owns the invalidation, e.g. ``SpatialIndex.invalidate_positions``)."""
+    pos += dt * vel
+
+
+# ----------------------------------------------------------------- driver
+def run_surrogate_step(host) -> None:
+    """One fixed-dt surrogate-coupled step (the Sec. 3.2 eight-step loop).
+
+    Phase order, timer labels, pool flush/collect placement and the
+    floating-point grouping of the kicks are owned here; hosts only supply
+    the phase bodies.  The labels match the Fig. 6/Table 3 categories.
+    """
+    cfg = host.cfg
+    dt = cfg.dt
+
+    # (1) identify SNe in [t, t + dt).  The window is open below so an
+    # *overdue* tsn also fires (a finite past tsn can only mean a checkpoint
+    # restore re-scheduled an SN whose prediction was in flight at save time).
+    with host.timers.measure("Identify_SNe"):
+        exploding = host.identify_sne(dt)
+
+    # (2) ship each SN region to a pool node, then flush due batches so
+    # inference runs overlapped with (3) instead of landing on the collect.
+    with host.timers.measure("Send_SNe"):
+        host.send_sne(exploding)
+        host.flush_pools()
+
+    # (3) KDK without feedback energy.
+    if not host.forces_ready:
+        host.compute_forces("1st")
+    with host.timers.measure("Integration"):
+        host.kick(0.5 * dt)
+        host.drift(dt)
+    host.compute_forces("1st")
+    with host.timers.measure("Final_kick"):
+        host.kick(0.5 * dt)
+
+    # (4) receive due predictions, replace by particle ID.
+    with host.timers.measure("Receive_SNe"):
+        host.receive_sne()
+
+    # (5) domain decomposition / particle exchange.
+    host.redistribute(dt)
+
+    # (6) star formation and cooling.
+    host.apply_star_formation(dt)
+    host.apply_cooling(dt)
+
+    # (7) recompute hydro after the internal-energy changes.
+    host.refresh_hydro()
+
+    # (8) advance the global clock; repeat.
+    host.time += dt
+    host.step_count += 1
+
+
+class SurrogateStepLoop:
+    """Run-control mixin: the umbrella span + ``run``/``run_until``.
+
+    Hosts mix this in next to their physics base class; ``step`` drives
+    :func:`run_surrogate_step` against ``self``.
+    """
+
+    def step(self) -> None:
+        with self.tracer.span("step", step=self.step_count):
+            run_surrogate_step(self)
+
+    def run(self, n_steps: int) -> None:
+        for _ in range(n_steps):
+            self.step()
+
+    def run_until(self, t_end: float, max_steps: int = 10_000_000) -> None:
+        while self.time < t_end and self.step_count < max_steps:
+            self.step()

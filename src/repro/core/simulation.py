@@ -86,6 +86,16 @@ class GalaxySimulation:
         report``.  The default :data:`~repro.obs.NULL_TRACER` keeps every
         bracket a no-op; tracing never changes particle state (asserted
         bit-identical in ``benchmarks/bench_obs_overhead.py``).
+    n_ranks : >1 runs the coupled multi-rank path
+        (:class:`repro.core.runner.CoupledRunner`): simulated main ranks
+        with genuine domain migration, cross-rank SN-region ghosts, and
+        one shared inference service with per-rank pool clients.
+        Bit-identical to ``n_ranks=1`` for the same seeds (with the
+        default ``coupled_force_mode="global"``).
+    use_torus : (coupled only) route the driver collectives through the
+        3-phase 3D torus alltoallv.
+    coupled_force_mode : (coupled only) ``"global"`` or ``"distributed"``
+        — see :class:`~repro.core.runner.CoupledRunner`.
     """
 
     def __init__(
@@ -112,6 +122,9 @@ class GalaxySimulation:
         serve_fault_plan: "FaultPlan | str | None" = None,
         serve_supervision: "SupervisionConfig | None" = None,
         tracer=None,
+        n_ranks: int = 1,
+        use_torus: bool = False,
+        coupled_force_mode: str = "global",
     ) -> None:
         from repro.obs.trace import NULL_TRACER
 
@@ -154,19 +167,37 @@ class GalaxySimulation:
             tracer=self.tracer,
         )
         self.server = server
-        self.pool = PoolManager(
-            surrogate=surrogate,
-            n_pool=cfg.n_pool,
-            latency_steps=cfg.latency_steps,
-            seed=seed,
-            server=server,
-            overflow_policy=overflow_policy,
-            horizon=horizon,
-        )
-        self.integrator = SurrogateLeapfrog(
-            ps, self.pool, cfg, cooling=cooling, star_formation=star_formation,
-            tracer=self.tracer,
-        )
+        if n_ranks > 1:
+            from repro.core.runner.coupled import CoupledRunner
+
+            self.pool = None
+            self.integrator = CoupledRunner(
+                ps,
+                server,
+                n_ranks=n_ranks,
+                config=cfg,
+                cooling=cooling,
+                star_formation=star_formation,
+                tracer=self.tracer,
+                use_torus=use_torus,
+                force_mode=coupled_force_mode,
+                overflow_policy=overflow_policy,
+                horizon=horizon,
+            )
+        else:
+            self.pool = PoolManager(
+                surrogate=surrogate,
+                n_pool=cfg.n_pool,
+                latency_steps=cfg.latency_steps,
+                seed=seed,
+                server=server,
+                overflow_policy=overflow_policy,
+                horizon=horizon,
+            )
+            self.integrator = SurrogateLeapfrog(
+                ps, self.pool, cfg, cooling=cooling,
+                star_formation=star_formation, tracer=self.tracer,
+            )
 
     # ------------------------------------------------------------- delegation
     @property
@@ -189,7 +220,11 @@ class GalaxySimulation:
 
     def diagnostics(self) -> dict:
         out = self.integrator.diagnostics()
-        out["pool"] = self.pool.summary()
+        out["pool"] = (
+            self.pool.summary()
+            if self.pool is not None
+            else self.integrator.pool_summary()
+        )
         return out
 
     def timing_breakdown(self) -> dict[str, float]:
@@ -241,7 +276,10 @@ class GalaxySimulation:
     # -------------------------------------------------------------- lifecycle
     def close(self) -> None:
         """Shut down the inference service (process-transport workers)."""
-        self.pool.close()
+        if self.pool is not None:
+            self.pool.close()
+        else:
+            self.server.close()
 
     def __enter__(self) -> "GalaxySimulation":
         return self
@@ -255,6 +293,12 @@ class GalaxySimulation:
         (see :func:`repro.fdps.io.save_simulation`)."""
         from repro.fdps.io import save_simulation
 
+        if self.pool is None:
+            raise NotImplementedError(
+                "checkpointing a coupled (n_ranks > 1) run is not supported "
+                "yet; the state is bit-identical to n_ranks=1, so save from "
+                "a single-rank run"
+            )
         return save_simulation(self, path)
 
     @classmethod

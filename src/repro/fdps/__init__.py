@@ -16,6 +16,27 @@ this package provides:
 * **local essential tree (LET) exchange and interaction calculation** —
   :mod:`repro.fdps.let` and :mod:`repro.fdps.interaction` (group-wise tree
   walks with the interaction-group size ``n_g`` trade-off of Sec. 5.2.4).
+
+Coupled runs and cross-rank SN regions
+--------------------------------------
+
+:class:`DistributedGravity` is also the communication driver of the
+surrogate-coupled multi-rank runner
+(:class:`~repro.core.runner.coupled.CoupledRunner`).  Beyond migration and
+LET traffic it exports SN-region *ghosts*: when a supernova's sampling
+cube pokes past its owner rank's domain box
+(:meth:`~repro.fdps.domain.DomainDecomposition.domain_box`), the owner
+cannot extract a complete region —
+:func:`repro.surrogate.voxelize.extract_region` raises
+``RegionIncompleteError`` rather than silently truncating.
+:meth:`DistributedGravity.exchange_region_ghosts` is the remedy: one
+collective (label ``region_ghost``, flat or 3-phase torus alltoallv, timer
+``Exchange_Region``) in which every non-owner rank packs its in-cube gas
+through the :mod:`repro.fdps.particles` wire format and the owner merges
+the blocks back into a pid-sorted region identical to a single-rank
+extraction.  ``tests/core/test_coupled.py`` pins the resulting byte
+ledgers; ``benchmarks/bench_coupled_scaling.py`` prices them on the
+Sec. 5.2 network model.
 """
 
 from repro.fdps.particles import ParticleSet, ParticleType

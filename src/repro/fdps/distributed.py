@@ -41,11 +41,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.accel.index import ConcatStratifiedSampler, SpatialIndex
+from repro.core.runner.step import leapfrog_drift, leapfrog_kick
 from repro.fdps.comm import SimComm, TorusTopology
 from repro.fdps.domain import DomainDecomposition, process_grid
 from repro.fdps.interaction import InteractionCounter
 from repro.fdps.let import exchange_let
-from repro.fdps.particles import ParticleSet, ParticleType
+from repro.fdps.particles import ParticleSet, ParticleType, packed_width
 from repro.fdps.tree import Octree
 from repro.gravity.treegrav import tree_accel
 from repro.obs.trace import NULL_TRACER
@@ -167,6 +168,85 @@ class DistributedGravity:
                 if emigrated[dst] or immigrated:
                     self.indices[dst].invalidate_all()
         return out
+
+    def exchange_region_ghosts(
+        self,
+        locals_: list[ParticleSet],
+        requests: list[tuple[int, np.ndarray]],
+        side: float,
+    ) -> list[ParticleSet]:
+        """Pull the remote gas of SN-region cubes across rank boundaries.
+
+        ``requests`` is one ``(owner_rank, center)`` pair per SN event whose
+        (side)^3 cube may cross the owner's domain box.  Every *other* rank
+        scans its local gas for particles inside each cube and ships full
+        packed particles to the owner through the same (flat or 3-phase
+        torus) alltoallv as the migration path, charged to the
+        ``region_ghost`` ledger label — the owner's ``extract_region`` is
+        then rank-complete.  Returns one ghost set per request (empty when
+        the cube lies entirely inside the owner's slab).
+
+        Wire format per (src, dst) buffer: concatenated blocks, each one
+        header row (slot 0 = request index, slot 1 = particle count, padded
+        to ``packed_width()``) followed by that many packed particle rows —
+        so the ledger counts the true ghost payload plus one row of framing
+        per (request, contributing rank) pair.
+        """
+        p = self.n_ranks
+        half = side / 2.0
+        width = packed_width()
+        empty = ParticleSet.empty(0)
+        ghosts: list[ParticleSet] = [empty.copy() for _ in requests]
+        if p == 1 or not requests:
+            return ghosts
+        send: list[list[np.ndarray | None]] = [[None] * p for _ in range(p)]
+        for src in range(p):
+            with self.timers[src].measure("Exchange_Region"):
+                ps = locals_[src]
+                if len(ps) == 0:
+                    continue
+                gas = ps.where_type(ParticleType.GAS)
+                blocks: dict[int, list[np.ndarray]] = {}
+                for k, (owner, center) in enumerate(requests):
+                    if owner == src:
+                        continue
+                    c = np.asarray(center, dtype=np.float64)
+                    inside = gas & np.all(
+                        np.abs(ps.pos - c[None, :]) <= half, axis=1
+                    )
+                    idx = np.flatnonzero(inside)
+                    if idx.size == 0:
+                        continue
+                    payload = ps.select(idx).pack()
+                    header = np.zeros((1, width))
+                    header[0, 0] = k
+                    header[0, 1] = idx.size
+                    blocks.setdefault(owner, []).append(
+                        np.concatenate([header, payload])
+                    )
+                for dst, parts in blocks.items():
+                    send[src][dst] = np.concatenate(parts)
+        recv = (
+            self.comm.alltoallv_3d(send, label="region_ghost")
+            if self.use_torus
+            else self.comm.alltoallv(send, label="region_ghost")
+        )
+        for dst in range(p):
+            with self.timers[dst].measure("Exchange_Region"):
+                for src in range(p):
+                    buf = recv[dst][src]
+                    if buf is None:
+                        continue
+                    buf = np.asarray(buf, dtype=np.float64).reshape(-1, width)
+                    i = 0
+                    while i < len(buf):
+                        k = int(buf[i, 0])
+                        n = int(buf[i, 1])
+                        ghosts[k] = ghosts[k].append(
+                            ParticleSet.unpack(buf[i + 1 : i + 1 + n])
+                        )
+                        i += 1 + n
+        return ghosts
 
     def forces(
         self,
@@ -328,8 +408,8 @@ class DistributedGravity:
         ]
         for rank, (ps, acc) in enumerate(zip(locals_, accs, strict=True)):
             if len(ps):
-                ps.vel += 0.5 * dt * acc
-                ps.pos += dt * ps.vel
+                leapfrog_kick(ps.vel, acc, 0.5 * dt)
+                leapfrog_drift(ps.pos, ps.vel, dt)
                 self.indices[rank].invalidate_positions()
         # Re-decompose and migrate before the closing force evaluation.
         nonempty = [rank for rank, ps in enumerate(locals_) if len(ps)]
@@ -351,5 +431,5 @@ class DistributedGravity:
         accs = self.forces(locals_, decomp)
         for ps, acc in zip(locals_, accs, strict=True):
             if len(ps):
-                ps.vel += 0.5 * dt * acc
+                leapfrog_kick(ps.vel, acc, 0.5 * dt)
         return locals_, decomp, accs

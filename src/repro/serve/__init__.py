@@ -96,6 +96,31 @@ as an exception (debugging the workers themselves).  Faults are scripted
 deterministically via :class:`FaultPlan` / ``REPRO_SERVE_FAULTS`` — see
 :mod:`repro.serve.faults`, ``tests/serve/test_faults.py``, and
 ``benchmarks/bench_serve_faults.py``.
+
+Coupled multi-rank runs: one server, many clients
+-------------------------------------------------
+
+In the paper's production topology every *main* rank submits its own SN
+regions to the shared pool (Fig. 1); here the
+:class:`~repro.core.runner.coupled.CoupledRunner` gives each simulated
+rank its own :class:`~repro.core.pool.PoolManager` client of **one**
+``SurrogateServer``.  Two server features exist for exactly that shape:
+
+* ``submit(..., client=r)`` tags a request with its owner rank, and
+  ``collect(step, client=r)`` / ``collect_all(client=r)`` deliver only
+  that client's due predictions — while still *waiting* globally, so
+  batches mixing several ranks' events flush exactly as they would for a
+  single caller.  Event ids, batch composition and per-event seeds are
+  assigned in submission order, which the coupled runner makes the global
+  (= single-rank) dispatch order;
+* a shared :class:`~repro.core.pool.PoolOccupancy` calendar arbitrates
+  pool-node bookings across clients, so two ranks can never double-book a
+  pool rank and the booking sequence is identical to a single-rank run.
+
+The result is the contract ``tests/core/test_coupled.py`` enforces: an
+``n_ranks > 1`` coupled run is byte-identical to the single-rank one, on
+every transport.  ``benchmarks/bench_coupled_scaling.py`` measures what
+the shared service costs and hides at scale.
 """
 
 from repro.serve.batch import BatchScheduler

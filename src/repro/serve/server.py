@@ -795,6 +795,7 @@ class SurrogateServer:
         self._next_batch_id = 0
         self._in_flight: set[int] = set()                # outstanding batch ids
         self._expected: dict[int, tuple[int, int]] = {}  # id -> (dispatch, return)
+        self._client: dict[int, int] = {}                # id -> client tag (coupled runs)
         self._completed: dict[int, ServeResponse] = {}
         #: In-flight request registry: batch id -> the dispatched request
         #: buffers, held until the batch's responses are absorbed so any
@@ -856,6 +857,18 @@ class SurrogateServer:
     def _transport_degraded(self) -> bool:
         return bool(getattr(self._transport, "degraded", False))
 
+    def supervise(self) -> None:
+        """One explicit supervision pass (deaths → recovery, due restarts).
+
+        Supervision normally rides on the transport polling inside
+        :meth:`collect`; a workload that finishes before a scheduled
+        restart's backoff elapses would otherwise close with the restart
+        pending forever.  Chaos tests (and callers that must leave the
+        pool healthy for a next phase) drive the supervisor to quiescence
+        with this instead of sleeping and hoping a collect happens by.
+        """
+        self._absorb(self._transport.poll())
+
     # ---------------------------------------------------------------- submit
     def submit(
         self,
@@ -865,8 +878,14 @@ class SurrogateServer:
         dispatch_step: int,
         return_step: int,
         base_seed: int = 0,
+        client: int | None = None,
     ) -> ServeRequest:
-        """Encode one SN region and queue it for batched prediction."""
+        """Encode one SN region and queue it for batched prediction.
+
+        ``client`` tags the event for multi-client (coupled multi-rank)
+        runs: :meth:`collect` with the same tag hands back only this
+        client's predictions.  Untagged events go to any collector.
+        """
         request = ServeRequest(
             event_id=self._next_event_id,
             base_seed=int(base_seed),
@@ -877,6 +896,8 @@ class SurrogateServer:
             region=region,
         )
         self._next_event_id += 1
+        if client is not None:
+            self._client[request.event_id] = int(client)
         buf = request.to_buffer()
         self.metrics.n_submitted += 1
         self.metrics.bytes_in += int(buf.nbytes)
@@ -942,7 +963,7 @@ class SurrogateServer:
         self._transport.dispatch(batch_id, buffers)
 
     # --------------------------------------------------------------- collect
-    def collect(self, step: int) -> list[ServeResponse]:
+    def collect(self, step: int, client: int | None = None) -> list[ServeResponse]:
         """All predictions due at ``step``.
 
         Drains finished batches without blocking; if a due prediction is
@@ -951,6 +972,12 @@ class SurrogateServer:
         the non-overlapped remainder the paper's ideal sizing drives to
         zero.  Worker faults encountered on the way are recovered (or
         raised, under ``fault_mode="raise"``).
+
+        With a ``client`` tag only that client's events are handed back
+        (and popped); other clients' completions stay buffered for their
+        own collect calls.  The wait itself is still global — every due
+        event must have landed before any client's delivery, which keeps
+        the coupled runner's per-rank collect order deterministic.
         """
         self.tick(step)  # any request due back by now is past its deadline
         self._absorb(self._transport.poll())
@@ -985,14 +1012,17 @@ class SurrogateServer:
                 )
         out = []
         for eid in sorted(self._completed.keys()):
+            if client is not None and self._client.get(eid) != client:
+                continue
             dispatch_step, return_step = self._expected[eid]
             if return_step <= step:
                 out.append(self._completed.pop(eid))
                 del self._expected[eid]
+                self._client.pop(eid, None)
                 self.metrics.record_completion(dispatch_step, step)
         return out
 
-    def collect_all(self) -> list[ServeResponse]:
+    def collect_all(self, client: int | None = None) -> list[ServeResponse]:
         """Flush and wait for everything outstanding (drain/shutdown path)."""
         for buffers in self.scheduler.flush_all(step=0):
             self._dispatch(buffers)
@@ -1015,9 +1045,12 @@ class SurrogateServer:
                 )
         out = []
         for eid in sorted(self._completed.keys()):
+            if client is not None and self._client.get(eid) != client:
+                continue
             dispatch_step, return_step = self._expected[eid]
             out.append(self._completed.pop(eid))
             del self._expected[eid]
+            self._client.pop(eid, None)
             # No caller step here; the request's return step is the honest
             # latency stand-in (the prediction was due back then).
             self.metrics.record_completion(dispatch_step, return_step)

@@ -21,7 +21,12 @@ End-to-end path, exactly as in the paper:
 exact Sedov solution (fast) or real SPH blast simulations.
 """
 
-from repro.surrogate.voxelize import voxelize_particles, VoxelGrid
+from repro.surrogate.voxelize import (
+    RegionIncompleteError,
+    VoxelGrid,
+    extract_region,
+    voxelize_particles,
+)
 from repro.surrogate.transforms import FieldTransform
 from repro.surrogate.devoxelize import gibbs_sample_positions, devoxelize_to_particles
 from repro.surrogate.model import SNSurrogate, SedovBlastOracle
@@ -33,6 +38,8 @@ from repro.surrogate.training_data import (
 
 __all__ = [
     "voxelize_particles",
+    "extract_region",
+    "RegionIncompleteError",
     "VoxelGrid",
     "FieldTransform",
     "gibbs_sample_positions",

@@ -195,8 +195,26 @@ def _nearest_particle(points: np.ndarray, pos: np.ndarray) -> np.ndarray:
     return cKDTree(pos).query(points, workers=-1)[1]
 
 
+class RegionIncompleteError(ValueError):
+    """An SN region cube extends past the caller's domain slab.
+
+    Raised by :func:`extract_region` when a ``domain`` is declared, the
+    cube crosses one of its *finite* faces, and no ``ghosts`` were
+    supplied: the local particle set cannot contain every gas particle of
+    the region, so extracting it silently would truncate the surrogate's
+    input.  Multi-rank callers fetch the missing particles first (see
+    ``DistributedGravity.exchange_region_ghosts``) and pass them as
+    ``ghosts``.
+    """
+
+
 def extract_region(
-    ps: ParticleSet, center: np.ndarray, side: float, index=None
+    ps: ParticleSet,
+    center: np.ndarray,
+    side: float,
+    index=None,
+    domain: tuple[np.ndarray, np.ndarray] | None = None,
+    ghosts: ParticleSet | None = None,
 ) -> tuple[ParticleSet, np.ndarray]:
     """Gas particles inside the (side)^3 cube around ``center``.
 
@@ -206,9 +224,28 @@ def extract_region(
     whose cached grid scopes this particle set) answers the cube query from
     the binned cells instead of a full O(N) scan; the exact distance-and-type
     filter below makes the result identical either way.
+
+    ``domain`` declares the (lo, hi) slab that ``ps`` is complete for (a
+    rank's domain box; ±inf bounds mark outer faces).  A cube that crosses
+    a finite face needs particles this rank doesn't own: with ``ghosts``
+    (remote gas pulled across) the region is ghost-filled and pid-sorted so
+    its content and order match a single-rank extraction from the global
+    set; without, :class:`RegionIncompleteError` is raised rather than
+    silently truncating.  The returned index array always refers to local
+    particles only — ghost rows have no index into ``ps``.
     """
     center = np.asarray(center, dtype=np.float64)
     half = side / 2.0
+    if domain is not None and ghosts is None:
+        lo, hi = (np.asarray(b, dtype=np.float64) for b in domain)
+        # ±inf faces are the global boundary — nothing lives beyond them,
+        # so the comparison is False there and only interior faces raise.
+        if bool(np.any(center - half < lo) or np.any(center + half > hi)):
+            raise RegionIncompleteError(
+                f"region cube (center {center.tolist()}, side {side}) crosses "
+                "a finite domain face; pass the remote gas as `ghosts` or "
+                "extract from the global particle set"
+            )
     cand = None
     if index is not None:
         cand = index.query_box(center - half, center + half)
@@ -220,4 +257,14 @@ def extract_region(
         inside = np.all(np.abs(ps.pos[cand] - center[None, :]) <= half, axis=1)
         inside &= ps.where_type(ParticleType.GAS)[cand]
         idx = np.sort(cand[inside])
-    return ps.select(idx), idx
+    region = ps.select(idx)
+    if ghosts is not None and len(ghosts):
+        g_in = np.all(np.abs(ghosts.pos - center[None, :]) <= half, axis=1)
+        g_in &= ghosts.where_type(ParticleType.GAS)
+        g_idx = np.flatnonzero(g_in)
+        if g_idx.size:
+            region = region.append(ghosts.select(g_idx))
+            # pid order == global index order: exactly what a single-rank
+            # extraction from the (pid-sorted) global set would produce.
+            region.reorder(np.argsort(region.pid, kind="stable"))
+    return region, idx

@@ -1,0 +1,252 @@
+"""Coupled multi-rank runs: bit-identity, byte ledgers, report reconciliation.
+
+The coupled runner's contract (see :mod:`repro.core.runner.coupled`) is that
+an ``n_ranks > 1`` run over one shared surrogate service produces *byte-for-
+byte* the particle state of the single-rank integrator, while genuinely
+paying for domain migration, cross-rank SN-region ghosts and per-rank pool
+traffic on the communication ledgers.  The ICs below force one SN whose
+(60 pc)^3 region straddles the 2-rank domain cut, so every run exercises the
+``region_ghost`` path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GalaxySimulation
+from repro.core.integrator import IntegratorConfig, SurrogateLeapfrog
+from repro.core.pool import PoolManager, PoolOccupancy
+from repro.fdps.comm import SimComm
+from repro.fdps.particles import ParticleType
+from repro.ic.galaxy import make_mw_mini
+from repro.serve import SurrogateServer
+from repro.surrogate.model import SedovBlastOracle, SNSurrogate
+
+DT = 2e-3
+N_POOL = 3
+LATENCY = 2
+SEED = 7
+STEPS = 4
+
+
+def _boundary_sn_ic():
+    """A mini galaxy with one SN at the 2-rank cut and gas on both sides.
+
+    The star sits at the gas median x — the (2, 1, 1) multisection cuts
+    there — and six gas particles are planted inside its 60 pc cube with
+    modest smoothing lengths (the IC's kpc-scale gas h would make the voxel
+    deposit pathologically wide).
+    """
+    ps = make_mw_mini(n_total=800, seed=1)
+    stars = np.flatnonzero(ps.where_type(ParticleType.STAR))
+    gas = np.flatnonzero(ps.where_type(ParticleType.GAS))
+    medx = np.median(ps.pos[ps.where_type(ParticleType.GAS), 0])
+    si = stars[0]
+    ps.pos[si] = [medx, 0.0, 0.0]
+    ps.tsn[si] = 1e-3  # explodes on step 0
+    rng = np.random.default_rng(3)
+    ps.pos[gas[:6]] = ps.pos[si] + rng.uniform(-25.0, 25.0, size=(6, 3))
+    ps.h[gas[:6]] = 10.0
+    return ps
+
+
+def _config():
+    # Cooling off: the planted clump is unphysically dense and makes the
+    # cooling substepping stiff; the coupling machinery under test here is
+    # orthogonal to it (cooling/SF parity is covered separately below).
+    return IntegratorConfig(
+        enable_cooling=False, enable_star_formation=False, seed=SEED
+    )
+
+
+def _run(n_ranks, **kw):
+    sim = GalaxySimulation(
+        _boundary_sn_ic(), dt=DT, n_pool=N_POOL, latency_steps=LATENCY,
+        seed=SEED, config=_config(), n_ranks=n_ranks, **kw,
+    )
+    sim.run(STEPS)
+    return sim
+
+
+@pytest.fixture(scope="module")
+def single_rank_state():
+    sim = _run(1)
+    state = sim.ps.pack().tobytes()
+    diag = sim.diagnostics()
+    events = [e.event_id for e in sim.pool.events]
+    bytes_per_event = [e.region_bytes for e in sim.pool.events]
+    sim.close()
+    return state, diag, events, bytes_per_event
+
+
+@pytest.mark.parametrize("use_torus", [False, True])
+@pytest.mark.parametrize("transport", ["sync", "process", "shm"])
+def test_coupled_bit_identical_to_single_rank(
+    single_rank_state, use_torus, transport
+):
+    """2 ranks x {flat, torus} x {sync, process, shm}: same bytes out."""
+    ref_state, ref_diag, _, _ = single_rank_state
+    kw = {} if transport == "sync" else {
+        "serve_transport": transport, "serve_workers": 2,
+    }
+    sim = _run(2, use_torus=use_torus, **kw)
+    try:
+        assert sim.ps.pack().tobytes() == ref_state
+        diag = sim.diagnostics()
+        assert diag["n_sn_events"] == ref_diag["n_sn_events"] == 1
+        assert diag["time"] == ref_diag["time"]
+        assert diag["step"] == ref_diag["step"]
+    finally:
+        sim.close()
+
+
+def test_region_ghost_ledger_charged(single_rank_state):
+    """The boundary-crossing SN region pulls ghosts: bytes on the ledger."""
+    sim = _run(2)
+    try:
+        stats = sim.integrator.comm_stats()
+        ghost = stats["region_ghost"]
+        assert ghost.bytes_total > 0
+        assert ghost.n_messages >= 1
+        # Migration is real too: refits move particles between the ranks.
+        assert stats["exchange_particles"].bytes_total > 0
+    finally:
+        sim.close()
+
+
+def test_event_ids_and_wire_bytes_match_single_rank(single_rank_state):
+    """Shared-server event ids and per-event region bytes are rank-free."""
+    _, _, ref_events, ref_bytes = single_rank_state
+    sim = _run(2)
+    try:
+        events = sorted(
+            (e for pool in sim.integrator.pools for e in pool.events),
+            key=lambda e: e.event_id,
+        )
+        assert [e.event_id for e in events] == ref_events
+        assert [e.region_bytes for e in events] == ref_bytes
+    finally:
+        sim.close()
+
+
+def test_pool_p2p_ledger_matches_explicit_single_rank_reference():
+    """Coupled pool bytes == a single-rank PoolManager run with a ledger.
+
+    The facade's single-rank path doesn't attach a communicator, so the
+    reference is built by hand: one main rank + N_POOL pool ranks on a
+    SimComm, same seeds, same server sizing.  Every byte the coupled run's
+    per-rank clients charge to ``pool_p2p`` must appear in the single-rank
+    ledger too — requests and responses are rank-free wire buffers.
+    """
+    surrogate = SNSurrogate(
+        oracle=SedovBlastOracle(t_after=LATENCY * DT), n_grid=16, side=60.0
+    )
+    server = SurrogateServer(surrogate=surrogate, transport="sync")
+    comm = SimComm(1 + N_POOL)
+    pool = PoolManager(
+        n_pool=N_POOL, latency_steps=LATENCY, seed=SEED, comm=comm,
+        server=server, horizon=LATENCY * DT,
+    )
+    integ = SurrogateLeapfrog(_boundary_sn_ic(), pool, _config())
+    integ.run(STEPS)
+    ref = comm.stats["pool_p2p"]
+
+    sim = _run(2)
+    try:
+        got = sim.integrator.comm_stats()["pool_p2p"]
+        assert got.bytes_total == ref.bytes_total
+        assert got.n_messages == ref.n_messages
+        assert got.n_calls == ref.n_calls
+    finally:
+        sim.close()
+        pool.close()
+
+
+def test_run_report_reconciles_with_merged_ledger(tmp_path):
+    """``repro.obs report`` comm rows == the merged in-process ledger."""
+    from repro.obs.export import write_run
+    from repro.obs.report import report_run
+    from repro.obs.trace import Tracer
+
+    tr = Tracer(run_id="coupled")
+    sim = GalaxySimulation(
+        _boundary_sn_ic(), dt=DT, n_pool=N_POOL, latency_steps=LATENCY,
+        seed=SEED, config=_config(), n_ranks=2, tracer=tr,
+    )
+    sim.run(STEPS)
+    try:
+        merged = sim.integrator.comm_stats()
+        write_run(tr, tmp_path / "run")
+        report = report_run(tmp_path / "run")
+        active = {label for label, s in merged.items() if s.n_calls}
+        assert active and active <= set(report.comm)
+        for label, stats in merged.items():
+            if stats.n_calls == 0:
+                continue
+            row = report.comm[label]
+            assert int(row["bytes"]) == stats.bytes_total
+            assert int(row["messages"]) == stats.n_messages
+            assert int(row["critical_bytes"]) == stats.critical_bytes
+            assert int(row["calls"]) == stats.n_calls
+    finally:
+        sim.close()
+
+
+def test_full_physics_parity_with_star_formation():
+    """Cooling + star formation on (natural IC): still bit-identical.
+
+    Exercises the coupled runner's owner remap across a membership change —
+    if star formation fires, gas disappears and new star pids appear; either
+    way the two runs must agree byte-for-byte.
+    """
+    def run(n_ranks):
+        sim = GalaxySimulation(
+            make_mw_mini(n_total=800, seed=1), dt=DT, n_pool=N_POOL,
+            latency_steps=LATENCY, seed=SEED,
+            config=IntegratorConfig(seed=SEED), n_ranks=n_ranks,
+        )
+        sim.run(3)
+        state = sim.ps.pack().tobytes()
+        sim.close()
+        return state
+
+    assert run(1) == run(2)
+
+
+def test_owner_remap_after_membership_change():
+    """Surviving pids keep their owner; fresh pids are assigned by position."""
+    sim = _run(2)
+    try:
+        runner = sim.integrator
+        ps = runner.ps
+        before = dict(zip(ps.pid.tolist(), runner.owner.tolist()))
+        # Drop the first particle, append one fresh star far on the +x side.
+        new_ps = ps.select(np.arange(1, len(ps)))
+        star = ps.select(np.array([len(ps) - 1])).copy()
+        star.pid[0] = int(ps.pid.max()) + 1
+        star.ptype[0] = int(ParticleType.STAR)
+        star.pos[0] = [1e5, 0.0, 0.0]
+        new_ps = new_ps.append(star)
+        runner._replace_particle_set(new_ps)
+        assert len(runner.owner) == len(runner.ps)
+        for pid, owner in zip(runner.ps.pid.tolist(), runner.owner.tolist()):
+            if pid in before:
+                assert owner == before[pid]
+        # The fresh star is far beyond the cut: it belongs to the last rank.
+        assert runner.owner[-1] == runner.decomp.assign(
+            runner.ps.pos[-1:]
+        )[0]
+    finally:
+        sim.close()
+
+
+def test_shared_occupancy_prevents_double_booking():
+    """Two clients of one calendar can never book the same node twice."""
+    occ = PoolOccupancy(n_pool=2)
+    assert occ.free_rank(0) == 0
+    occ.book(0, until_step=5)
+    assert occ.free_rank(0) == 1
+    occ.book(1, until_step=5)
+    assert occ.free_rank(0) is None
+    assert occ.free_rank(5) == 0  # both free again at their until_step

@@ -614,3 +614,50 @@ def test_determinism_covers_obs_clocks():
         select=["determinism"],
     )
     assert _rules(findings) == ["determinism"]
+
+
+# ------------------------------------------------------- runner-layer scope
+def test_scopes_cover_the_runner_layer():
+    """The new ``repro.core.runner`` layer rides the existing prefixes.
+
+    The coupled runner owns comm-crossing calls (region ghosts, pool
+    dispatch) and seeded randomness, so the ledger-label, determinism and
+    rng-plumbing rules must all apply to its modules — by prefix, not by a
+    hand-maintained list that a rename would silently miss.
+    """
+    from repro.lint.registry import get_rule
+
+    for rule_name in ("determinism", "rng-plumbing", "ledger-label"):
+        rule = get_rule(rule_name)
+        for module in (
+            "repro.core.runner",
+            "repro.core.runner.step",
+            "repro.core.runner.coupled",
+        ):
+            assert rule.applies_to(module), (rule_name, module)
+
+
+def test_determinism_fires_in_runner_modules():
+    findings = _lint(
+        """
+        import numpy as np
+
+        def jitter():
+            return np.random.normal()
+        """,
+        module="repro.core.runner.coupled",
+        select=["determinism"],
+    )
+    assert _rules(findings) == ["determinism"]
+
+
+def test_ledger_label_fires_in_runner_modules():
+    findings = _lint(
+        """
+        def ship(comm, arr):
+            comm.send(0, 1, arr)
+        """,
+        module="repro.core.runner.coupled",
+        select=["ledger-label"],
+    )
+    assert _rules(findings) == ["ledger-label"]

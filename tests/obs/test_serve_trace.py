@@ -13,7 +13,7 @@ from repro.obs.export import write_run
 from repro.obs.report import report_run
 from repro.obs.trace import Tracer
 from repro.serve import SurrogateServer
-from tests.serve.test_faults import FAST, _run_rounds, _surr
+from tests.serve.test_faults import FAST, _await_restart, _run_rounds, _surr
 
 
 def _spans(tr, name):
@@ -30,6 +30,7 @@ def chaos_trace():
         fault_plan="kill@w0:b1", supervision=FAST, tracer=tr,
     ) as srv:
         _run_rounds(srv, rounds)
+        _await_restart(srv)  # make the kill's restart span observable
         metrics = srv.metrics
         tr.attach_meta("service_metrics", metrics.to_dict(
             max_batch=srv.scheduler.max_batch, n_workers=srv.n_workers,

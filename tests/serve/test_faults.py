@@ -9,6 +9,8 @@ the recovery visible only in the :class:`ServiceMetrics` counters — and,
 for ``shm``, with every ring slot back on the free stack afterwards.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -75,6 +77,19 @@ def _reference(rounds):
         return _run_rounds(srv, rounds)
 
 
+def _await_restart(srv, deadline_s=5.0):
+    """Drive supervision until the scheduled restart fires.
+
+    The restart backoff is wall-clock; a fast machine finishes the whole
+    workload inside it, and supervision only runs while the server is
+    polled — without this the restart assertion races the scheduler.
+    """
+    deadline = time.monotonic() + deadline_s
+    while srv.metrics.n_worker_restarts < 1 and time.monotonic() < deadline:
+        time.sleep(0.005)
+        srv.supervise()
+
+
 def _assert_bit_identical(got, reference):
     assert sorted(got) == sorted(reference)
     for eid, ref in reference.items():
@@ -125,11 +140,12 @@ def test_faultplan_from_env(monkeypatch):
 @pytest.mark.parametrize("transport", TRANSPORTS)
 def test_kill_mid_flight_bit_identical_with_restart(transport):
     # Two rounds: the first absorbs the kill (lost batch re-dispatches or
-    # resolves inline), the second runs after the supervisor's backoff has
-    # elapsed so the dead worker's restart is observable.
+    # resolves inline), the second proves service continues; the explicit
+    # supervision drain then makes the dead worker's restart observable.
     rounds = ((0, 5, 4), (6, 11, 4))
     with _chaos_server(transport, "kill@w0:b1") as srv:
         got = _run_rounds(srv, rounds)
+        _await_restart(srv)
         m = srv.metrics
         assert m.n_redispatch + m.n_fault_oracle >= 1
         assert m.n_worker_restarts >= 1

@@ -1,0 +1,110 @@
+"""``extract_region`` near domain edges: raise or ghost-fill, never truncate.
+
+Regression suite for the silent-truncation hazard: a rank extracting an SN
+region whose cube pokes past its domain slab used to return only its own
+gas, feeding the surrogate a partial region with no error.  Now a declared
+``domain`` either raises :class:`RegionIncompleteError` (no ghosts) or the
+supplied ghosts complete the region bit-exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fdps.particles import ParticleSet, ParticleType
+from repro.surrogate.voxelize import RegionIncompleteError, extract_region
+
+
+def _gas_cloud(n=64, seed=0, half=100.0):
+    rng = np.random.default_rng(seed)
+    ps = ParticleSet.empty(n)
+    ps.pid[:] = np.arange(n)
+    ps.ptype[:] = int(ParticleType.GAS)
+    ps.pos[:] = rng.uniform(-half, half, size=(n, 3))
+    ps.mass[:] = 1.0
+    ps.vel[:] = rng.normal(size=(n, 3))
+    ps.u[:] = rng.uniform(0.1, 1.0, n)
+    ps.h[:] = 5.0
+    return ps
+
+
+def test_cube_inside_slab_passes():
+    ps = _gas_cloud()
+    lo, hi = np.full(3, -100.0), np.full(3, 100.0)
+    region, idx = extract_region(
+        ps, np.zeros(3), 60.0, domain=(lo, hi)
+    )
+    ref, ref_idx = extract_region(ps, np.zeros(3), 60.0)
+    assert np.array_equal(idx, ref_idx)
+    assert region.pack().tobytes() == ref.pack().tobytes()
+
+
+def test_cube_crossing_finite_face_raises():
+    ps = _gas_cloud()
+    lo, hi = np.array([0.0, -np.inf, -np.inf]), np.full(3, np.inf)
+    with pytest.raises(RegionIncompleteError):
+        extract_region(ps, np.array([10.0, 0.0, 0.0]), 60.0, domain=(lo, hi))
+
+
+def test_infinite_faces_never_raise():
+    """±inf faces are the global boundary — nothing lives beyond them."""
+    ps = _gas_cloud()
+    lo = np.array([-np.inf, -np.inf, -np.inf])
+    hi = np.array([np.inf, np.inf, np.inf])
+    region, _ = extract_region(ps, np.zeros(3), 60.0, domain=(lo, hi))
+    ref, _ = extract_region(ps, np.zeros(3), 60.0)
+    assert region.pack().tobytes() == ref.pack().tobytes()
+
+
+def test_ghost_fill_matches_global_extraction():
+    """local-slab gas + remote ghosts == one global extraction, bit-exact."""
+    ps = _gas_cloud(n=128, seed=2)
+    center = np.array([0.0, 0.0, 0.0])
+    side = 80.0
+    cut = 0.0  # slab boundary through the cube
+    left = ps.select(ps.pos[:, 0] < cut)
+    right = ps.select(ps.pos[:, 0] >= cut)
+
+    ref, _ = extract_region(ps, center, side)
+    assert len(ref) > 0
+
+    lo = np.array([-np.inf, -np.inf, -np.inf])
+    hi = np.array([cut, np.inf, np.inf])
+    region, idx = extract_region(
+        left, center, side, domain=(lo, hi), ghosts=right
+    )
+    assert region.pack().tobytes() == ref.pack().tobytes()
+    # The index array refers to local particles only.
+    assert np.all(left.pos[idx, 0] < cut)
+
+
+def test_ghost_fill_ignores_out_of_cube_and_non_gas_ghosts():
+    ps = _gas_cloud(n=32, seed=3)
+    ghosts = _gas_cloud(n=16, seed=4)
+    ghosts.pos[:] += 1e4           # far outside any cube
+    ghosts.pid[:] += 1000
+    stars = _gas_cloud(n=4, seed=5)
+    stars.ptype[:] = int(ParticleType.STAR)
+    stars.pos[:] = 0.0             # in-cube but not gas
+    stars.pid[:] += 2000
+    region, _ = extract_region(
+        ps, np.zeros(3), 60.0,
+        domain=(np.full(3, -1e5), np.full(3, 1e5)),
+        ghosts=ghosts.append(stars),
+    )
+    ref, _ = extract_region(ps, np.zeros(3), 60.0)
+    assert region.pack().tobytes() == ref.pack().tobytes()
+
+
+def test_merged_region_is_pid_sorted():
+    ps = _gas_cloud(n=64, seed=6)
+    left = ps.select(ps.pos[:, 0] < 0)
+    right = ps.select(ps.pos[:, 0] >= 0)
+    region, _ = extract_region(
+        left, np.zeros(3), 120.0,
+        domain=(np.array([-np.inf, -np.inf, -np.inf]),
+                np.array([0.0, np.inf, np.inf])),
+        ghosts=right,
+    )
+    assert np.all(np.diff(region.pid) > 0)
